@@ -1,0 +1,29 @@
+"""E1 — Gilder crossover figure (see DESIGN.md experiment index)."""
+
+from repro.bench.e01_gilder import run_experiment
+
+
+def test_e01_gilder_crossover(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    rows = result.rows
+    # Simulated times track the analytic model closely (no contention
+    # in a single-flow world): within 2% on both sides.
+    for row in rows:
+        assert abs(row["sim_local_s"] - row["analytic_local_s"]) \
+            <= 0.02 * row["analytic_local_s"]
+        assert abs(row["sim_remote_s"] - row["analytic_remote_s"]) \
+            <= 0.02 * row["analytic_remote_s"]
+    # The decision flips exactly once along the bandwidth sweep, and the
+    # simulator agrees with the analytic winner at every grid point.
+    flips = sum(
+        1 for a, b in zip(rows, rows[1:])
+        if a["offload_wins_sim"] != b["offload_wins_sim"]
+    )
+    assert flips == 1
+    assert not rows[0]["offload_wins_sim"]      # thin pipe: locality wins
+    assert rows[-1]["offload_wins_sim"]         # fat pipe: disintegration
+    for row in rows:
+        assert bool(row["offload_wins_sim"]) == bool(row["offload_wins_analytic"])

@@ -1,0 +1,26 @@
+"""E3 — scheduler scalability figure."""
+
+from conftest import rows_where
+
+from repro.bench.e03_scalability import run_experiment
+
+
+def test_e03_scalability(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    task_rows = rows_where(result, sweep="tasks")
+    assert len(task_rows) >= 3
+    # throughput stays within an order of magnitude across the sweep
+    # (decision cost is low-polynomial, not exponential)
+    rates = [r["tasks_per_s"] for r in task_rows]
+    assert max(rates) / min(rates) < 10
+    # absolute floor: scheduling+simulating >= 200 tasks/s even at the
+    # largest quick size
+    assert rates[-1] > 200
+
+    site_rows = rows_where(result, sweep="sites")
+    # more sites cost more wall time but find better schedules:
+    # makespan at 20 sites <= makespan at 5 sites
+    assert site_rows[-1]["makespan_s"] <= site_rows[0]["makespan_s"]

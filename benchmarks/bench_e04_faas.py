@@ -1,0 +1,35 @@
+"""E4 — FaaS overheads table (cold/warm, keep-alive TTL, batching)."""
+
+from conftest import row_value, rows_where
+
+from repro.bench.e04_faas import run_experiment
+
+
+def test_e04_faas_overheads(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    # keep-alive=0 (always cold) vs a long TTL: p95 at least 10x worse
+    cold_p95 = row_value(result, "p95_ms", scenario="keep-alive=0s")
+    warm_p95 = row_value(result, "p95_ms", scenario="keep-alive=60s")
+    assert cold_p95 > 10 * warm_p95
+    # cold fraction collapses once TTL exceeds typical inter-arrival
+    assert row_value(result, "cold_fraction", scenario="keep-alive=0s") == 1.0
+    assert row_value(result, "cold_fraction", scenario="keep-alive=60s") < 0.05
+
+    # batching raises p50 (waiting for peers) but amortizes busy time
+    batch_rows = [r for r in result.rows if r["scenario"].startswith("batch")]
+    passthrough = next(r for r in batch_rows if "<=~1," in r["scenario"])
+    batched = next(r for r in batch_rows if "<=~4," in r["scenario"])
+    assert batched["p50_ms"] > passthrough["p50_ms"]
+    assert batched["busy_s_per_req"] < passthrough["busy_s_per_req"]
+    assert batched["mean_batch"] > 1.0
+
+    # elastic pool: serves the same stream from a tiny mean pool with
+    # p50 matching the fixed warm pool (elasticity costs tail, not median)
+    auto = row_value(result, "mean_workers", scenario="autoscale(1..8)")
+    assert auto < 4.0
+    auto_p50 = row_value(result, "p50_ms", scenario="autoscale(1..8)")
+    warm_p50 = row_value(result, "p50_ms", scenario="keep-alive=60s")
+    assert auto_p50 <= warm_p50 * 1.5

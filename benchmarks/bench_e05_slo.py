@@ -1,0 +1,29 @@
+"""E5 — SLO satisfaction vs edge-cloud latency figure."""
+
+from conftest import rows_where
+
+from repro.bench.e05_slo import run_experiment
+
+
+def test_e05_slo_vs_latency(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    edge = rows_where(result, policy="edge")
+    cloud = rows_where(result, policy="cloud")
+    smart = rows_where(result, policy="smart")
+
+    # edge placement is latency-invariant (never touches the WAN link)
+    edge_sats = [r["satisfaction"] for r in edge]
+    assert max(edge_sats) - min(edge_sats) < 0.05
+    assert min(edge_sats) > 0.9
+
+    # cloud placement collapses at high RTT
+    assert cloud[0]["satisfaction"] > 0.9       # low latency: fine
+    assert cloud[-1]["satisfaction"] < 0.1      # 400 ms one-way: hopeless
+
+    # the estimate-driven policy tracks the upper envelope everywhere
+    for e_row, c_row, s_row in zip(edge, cloud, smart):
+        envelope = max(e_row["satisfaction"], c_row["satisfaction"])
+        assert s_row["satisfaction"] >= envelope - 0.05

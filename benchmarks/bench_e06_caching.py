@@ -1,0 +1,25 @@
+"""E6 — edge cache policy table."""
+
+from conftest import row_value
+
+from repro.bench.e06_caching import run_experiment
+
+
+def test_e06_cache_policies(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    baseline = row_value(result, "GB_moved", policy="none (stream)")
+    for policy in ("fifo", "lru", "lfu", "largest"):
+        moved = row_value(result, "GB_moved", policy=policy)
+        hit = row_value(result, "hit_rate", policy=policy)
+        # every cache beats streaming on bytes and has a real hit rate
+        assert moved < baseline
+        assert hit > 0.15
+        # reads with a cache are never slower on average
+        assert row_value(result, "mean_read_s", policy=policy) <= \
+            row_value(result, "mean_read_s", policy="none (stream)")
+    # recency/frequency policies beat FIFO on Zipf traffic
+    assert row_value(result, "hit_rate", policy="lfu") >= \
+        row_value(result, "hit_rate", policy="fifo")

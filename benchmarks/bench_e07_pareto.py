@@ -1,0 +1,24 @@
+"""E7 — multi-objective Pareto front figure."""
+
+from repro.bench.e07_pareto import run_experiment
+
+
+def test_e07_pareto_front(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    front = [r for r in result.rows if r["on_front"]]
+    # a genuine trade-off surface: several non-dominated weightings
+    assert len(front) >= 3
+
+    by_weights = {r["weights"]: r for r in result.rows}
+    pure_time = by_weights["multi(time=1)"]
+    pure_energy = by_weights["multi(energy=1)"]
+    pure_usd = by_weights["multi(usd=1)"]
+    # pure-time is the fastest point but not the most frugal
+    assert pure_time["makespan_s"] == min(r["makespan_s"] for r in result.rows)
+    assert pure_energy["energy_j"] <= pure_time["energy_j"]
+    assert pure_usd["usd"] <= pure_time["usd"]
+    # and the frugal extremes pay for it in makespan
+    assert pure_energy["makespan_s"] > pure_time["makespan_s"]

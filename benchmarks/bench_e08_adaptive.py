@@ -1,0 +1,27 @@
+"""E8 — adaptive vs static placement under a WAN shift figure."""
+
+from conftest import rows_where
+
+from repro.bench.e08_adaptive import run_experiment
+
+
+def test_e08_adaptive_recovery(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    post = rows_where(result, degraded=True)
+    assert post, "no post-shift episodes recorded"
+    # adaptive re-converges: its last post-shift episode is near-oracle,
+    # static keeps paying the degraded WAN
+    last = post[-1]
+    assert last["adaptive_s"] <= 1.5 * last["oracle_s"]
+    assert last["static_s"] > 3 * last["oracle_s"]
+    # cumulative regret: adaptive ends well below static
+    assert last["cum_regret_adaptive"] < 0.5 * last["cum_regret_static"]
+    # static's regret keeps growing post-shift (linear), adaptive's stalls
+    first_post, last_post = post[0], post[-1]
+    static_growth = last_post["cum_regret_static"] - first_post["cum_regret_static"]
+    adaptive_growth = (last_post["cum_regret_adaptive"]
+                       - first_post["cum_regret_adaptive"])
+    assert adaptive_growth < 0.5 * static_growth

@@ -1,0 +1,22 @@
+"""E9 — real dataflow-engine overhead table."""
+
+from conftest import row_value
+
+from repro.bench.e09_engine import run_experiment
+
+
+def test_e09_engine_overheads(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    # engine overhead per no-op task well under 5 ms
+    assert row_value(result, "overhead_us_per_task",
+                     measure="noop-throughput-serial") < 5000
+    # dependency-chain hop latency is sub-millisecond
+    assert row_value(result, "s_per_hop", measure="chain-latency") < 1e-3
+    # memoization eliminates repeat cost (>= 10x on a 20 ms function)
+    assert row_value(result, "speedup", measure="memoization") > 10
+    assert row_value(result, "memo_hits", measure="memoization") >= 1
+    # sleep-bound tasks parallelize on threads (>= 2x with 8 workers)
+    assert row_value(result, "speedup", measure="sleep-parallelism") > 2

@@ -1,0 +1,32 @@
+"""E10 — appliance specialization payoff figure."""
+
+from conftest import rows_where
+
+from repro.bench.e10_specialization import run_experiment
+
+
+def test_e10_specialization(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    # below the crossover bandwidth, nothing offloads at any factor
+    thin = rows_where(result, bandwidth_Mbps=4.0)
+    assert thin and all(not r["offloaded"] for r in thin)
+    assert all(r["speedup"] == 1.0 for r in thin)
+
+    # at high bandwidth, speedup grows with specialization factor
+    factors = sorted({r["specialization"] for r in result.rows})
+    fat_bw = max(r["bandwidth_Mbps"] for r in result.rows)
+    speedups = [
+        next(r["speedup"] for r in result.rows
+             if r["specialization"] == f and r["bandwidth_Mbps"] == fat_bw)
+        for f in factors
+    ]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 5  # a 16x appliance pays off handsomely
+
+    # per factor, speedup is monotone non-decreasing in bandwidth
+    for f in factors:
+        series = [r["speedup"] for r in result.rows if r["specialization"] == f]
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,32 @@
+"""E11 — resilience under Poisson site outages (extension experiment)."""
+
+from conftest import rows_where
+
+from repro.bench.e11_resilience import run_experiment
+
+
+def test_e11_resilience(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    # every run completed the full workflow despite interruptions
+    assert all(r["completed"] == 24 for r in result.rows)
+    # fault-free baseline has inflation exactly 1.0 and no waste
+    for row in rows_where(result, outage_rate_per_site=0.0):
+        assert row["inflation"] == 1.0
+        assert row["interruptions"] == 0
+        assert row["wasted_exec_s"] == 0.0
+    # the harshest outage rate hurts: inflation > 1 for at least one
+    # strategy, and interruptions were actually injected
+    harshest = max(r["outage_rate_per_site"] for r in result.rows)
+    harsh_rows = rows_where(result, outage_rate_per_site=harshest)
+    assert any(r["interruptions"] > 0 for r in harsh_rows)
+    assert any(r["inflation"] > 1.0 for r in harsh_rows)
+    # inflation is monotone-ish: the harshest rate is at least as bad as
+    # the mildest nonzero rate for each strategy
+    for strategy in ("edge-only", "greedy-eft"):
+        series = [r for r in result.rows
+                  if r["strategy"] == strategy and r["outage_rate_per_site"] > 0]
+        series.sort(key=lambda r: r["outage_rate_per_site"])
+        assert series[-1]["inflation"] >= series[0]["inflation"] * 0.8

@@ -1,0 +1,35 @@
+"""E12 — offered-load hockey stick (extension experiment)."""
+
+from conftest import rows_where
+
+from repro.bench.e12_offered_load import run_experiment
+
+
+def test_e12_offered_load(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": True},
+                           rounds=1, iterations=1)
+    )
+    edge = sorted(rows_where(result, strategy="edge-only"),
+                  key=lambda r: r["arrival_rate_per_s"])
+    greedy = sorted(rows_where(result, strategy="greedy-eft"),
+                    key=lambda r: r["arrival_rate_per_s"])
+
+    # under capacity (0.5 job/s < 1 job/s knee) the policies are close
+    assert edge[0]["mean_response_s"] < 3 * greedy[0]["mean_response_s"]
+
+    # past the knee, edge-only blows up; greedy stays bounded
+    assert edge[-1]["mean_response_s"] > 5 * greedy[-1]["mean_response_s"]
+    assert greedy[-1]["mean_response_s"] < 10 * greedy[0]["mean_response_s"]
+
+    # greedy's overflow actually went somewhere: spill grows with load
+    spills = [r["spill_fraction"] for r in greedy]
+    assert spills[-1] > spills[0]
+    assert spills[-1] > 0.2
+
+    # edge-only never spills by construction
+    assert all(r["spill_fraction"] == 0.0 for r in edge)
+
+    # edge-only response time is monotone in offered load
+    responses = [r["mean_response_s"] for r in edge]
+    assert all(a <= b + 1e-9 for a, b in zip(responses, responses[1:]))

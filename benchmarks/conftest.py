@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eXX`` module regenerates one experiment (table or figure)
+from DESIGN.md's evaluation suite: it benchmarks the experiment body via
+pytest-benchmark and then asserts the *shape* claims recorded in
+EXPERIMENTS.md (who wins, by roughly what factor, where crossovers fall).
+Rendered tables are written to ``results/`` for EXPERIMENTS.md updates.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, render, save_result
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+@pytest.fixture
+def record_experiment():
+    """Save + echo an experiment table; returns the result unchanged."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        save_result(result, os.path.abspath(RESULTS_DIR))
+        print()
+        print(render(result))
+        return result
+
+    return _record
+
+
+def rows_where(result: ExperimentResult, **match) -> list[dict]:
+    """Filter an experiment's rows by exact field matches."""
+    out = []
+    for row in result.rows:
+        if all(row.get(k) == v for k, v in match.items()):
+            out.append(row)
+    return out
+
+
+def row_value(result: ExperimentResult, field: str, **match):
+    """The single matching row's field (asserts exactly one match)."""
+    matches = rows_where(result, **match)
+    assert len(matches) == 1, f"expected 1 row matching {match}, got {len(matches)}"
+    return matches[0][field]

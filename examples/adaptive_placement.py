@@ -1,0 +1,53 @@
+"""Adapting to a changing network: bandit placement in action.
+
+A recurring inference batch runs every episode against an edge/cloud
+pair. Mid-sequence, the WAN degrades 50x. A fixed cloud placement keeps
+paying the congested link; the UCB bandit notices its observed
+turnarounds jump and migrates back to the edge within a few episodes.
+
+Run:  python examples/adaptive_placement.py
+"""
+
+from repro.bench.e08_adaptive import _episode_dag, _topology
+from repro.core import (
+    AdaptiveUCBStrategy,
+    ContinuumScheduler,
+    FixedSiteStrategy,
+)
+from repro.utils.tables import ascii_table
+
+N_EPISODES = 16
+SHIFT_AT = 8
+
+
+def main() -> None:
+    adaptive = AdaptiveUCBStrategy(window=18)
+    rows = []
+    for episode in range(N_EPISODES):
+        degraded = episode >= SHIFT_AT
+        topo = _topology(degraded)
+
+        def run(strategy):
+            dag, ext = _episode_dag(episode)
+            return ContinuumScheduler(topo).run(dag, strategy,
+                                                external_inputs=ext)
+
+        static = run(FixedSiteStrategy("cloud")).makespan
+        adaptive_run = run(adaptive)
+        chosen = {r.site for r in adaptive_run.records.values()}
+        rows.append({
+            "episode": episode,
+            "wan": "16 Mbps" if degraded else "800 Mbps",
+            "static_cloud_s": static,
+            "adaptive_s": adaptive_run.makespan,
+            "adaptive_ran_at": "+".join(sorted(chosen)),
+        })
+    print(ascii_table(rows, title="Recurring batch under a WAN brownout"))
+    pre = [r for r in rows if r["wan"] == "800 Mbps"]
+    post = [r for r in rows if r["wan"] == "16 Mbps"]
+    print(f"post-shift mean: static {sum(r['static_cloud_s'] for r in post) / len(post):.1f}s, "
+          f"adaptive {sum(r['adaptive_s'] for r in post) / len(post):.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network, so PEP-517
+editable wheels cannot be built; ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop`` through this shim. All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

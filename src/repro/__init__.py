@@ -1,0 +1,60 @@
+"""continuum — a Parsl/funcX-style continuum-computing library.
+
+Reproduction of the system vision in "Coding the Continuum" (Ian Foster,
+IPDPS 2019 keynote): workflow scripting, federated function serving, and
+managed data movement over a device-edge-fog-cloud-HPC continuum, plus
+the placement machinery that answers "where should I compute?".
+
+Top-level re-exports cover the most common entry points; subpackages:
+
+- :mod:`repro.simcore`    — discrete-event kernel
+- :mod:`repro.continuum`  — sites, links, topologies, presets
+- :mod:`repro.netsim`     — flow-level network (max-min fair sharing)
+- :mod:`repro.datafabric` — datasets, replicas, transfers, caches
+- :mod:`repro.faas`       — endpoints, containers, batching, fabric
+- :mod:`repro.workflow`   — DAG model + real dataflow execution
+- :mod:`repro.core`       — cost models, strategies, the scheduler,
+  and the analytic offload calculus
+- :mod:`repro.workloads`  — synthetic science/edge workloads
+- :mod:`repro.bench`      — the E1..E10 evaluation suite
+"""
+
+from repro._version import __version__
+from repro.continuum import (
+    Link,
+    Site,
+    Tier,
+    Topology,
+    edge_cloud_pair,
+    hierarchical_continuum,
+    science_grid,
+    smart_city,
+)
+from repro.core import (
+    ContinuumScheduler,
+    GreedyEFTStrategy,
+    HEFTStrategy,
+    offload_analysis,
+)
+from repro.datafabric import Dataset
+from repro.workflow import DataFlowKernel, TaskSpec, WorkflowDAG
+
+__all__ = [
+    "__version__",
+    "Tier",
+    "Site",
+    "Link",
+    "Topology",
+    "edge_cloud_pair",
+    "hierarchical_continuum",
+    "science_grid",
+    "smart_city",
+    "ContinuumScheduler",
+    "GreedyEFTStrategy",
+    "HEFTStrategy",
+    "offload_analysis",
+    "Dataset",
+    "TaskSpec",
+    "WorkflowDAG",
+    "DataFlowKernel",
+]

@@ -1,0 +1,43 @@
+"""CLI: run one or all experiments and print their tables.
+
+    python -m repro.bench            # everything, quick mode
+    python -m repro.bench E1 E5      # selected, full mode
+    python -m repro.bench --full     # everything, full mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import EXPERIMENTS, render, save_result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps (default quick when running all)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write tables under DIR")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(EXPERIMENTS)
+    quick = not args.full and not args.experiments
+    for exp_id in selected:
+        key = exp_id.upper()
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; known: {list(EXPERIMENTS)}")
+            return 2
+        result = EXPERIMENTS[key](quick=quick, seed=args.seed)
+        print(render(result))
+        print()
+        if args.save:
+            save_result(result, args.save)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

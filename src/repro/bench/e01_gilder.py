@@ -1,0 +1,78 @@
+"""E1 — the Gilder crossover (Figure).
+
+Question: as the network speeds up relative to compute, when does
+shipping data to a faster remote machine beat computing where the data
+sits? The analytic model (:mod:`repro.core.analytic`) predicts the
+crossover bandwidth; the simulator measures it by running the same
+single-task workload pinned to each side. The figure's series is
+(bandwidth -> local time, remote time) analytic and simulated.
+
+Expected shape: simulated times track the analytic curve; the measured
+crossover falls within ~15% of the analytic B*; below B* locality wins,
+above it the "machine disintegrates" and offload wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, TierStrategy, offload_analysis
+from repro.core.analytic import crossover_bandwidth
+from repro.datafabric import Dataset
+from repro.utils.units import MILLISECOND, Mbps
+from repro.workflow import TaskSpec, WorkflowDAG
+
+WORK = 80.0
+DATA_BYTES = 1e9
+EDGE_SPEED = 1.0
+CLOUD_SPEED = 8.0
+LATENCY_S = 25 * MILLISECOND
+
+
+def _run_pinned(bandwidth: float, tier: str) -> float:
+    topo = edge_cloud_pair(edge_speed=EDGE_SPEED, cloud_speed=CLOUD_SPEED,
+                           bandwidth_Bps=bandwidth, latency_s=LATENCY_S)
+    dag = WorkflowDAG("e1")
+    dag.add_task(TaskSpec("t", work=WORK, inputs=("raw",)))
+    result = ContinuumScheduler(topo).run(
+        dag, TierStrategy(tier),
+        external_inputs=[(Dataset("raw", DATA_BYTES), "edge")],
+    )
+    return result.makespan
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        "E1", "Gilder crossover: compute locally vs ship to remote"
+    )
+    n_points = 7 if quick else 13
+    bandwidths = np.logspace(np.log10(1 * Mbps), np.log10(100_000 * Mbps),
+                             n_points)
+    sim_cross = None
+    for bw in bandwidths:
+        analytic = offload_analysis(WORK, DATA_BYTES, EDGE_SPEED, CLOUD_SPEED,
+                                    bandwidth_Bps=bw, latency_s=LATENCY_S)
+        sim_local = _run_pinned(bw, "edge")
+        sim_remote = _run_pinned(bw, "cloud")
+        if sim_cross is None and sim_remote < sim_local:
+            sim_cross = bw
+        result.row(
+            bandwidth_Mbps=bw / Mbps,
+            analytic_local_s=analytic.local_time_s,
+            analytic_remote_s=analytic.remote_time_s,
+            sim_local_s=sim_local,
+            sim_remote_s=sim_remote,
+            offload_wins_analytic=analytic.offload_wins,
+            offload_wins_sim=sim_remote < sim_local,
+        )
+    b_star = crossover_bandwidth(WORK, DATA_BYTES, EDGE_SPEED, CLOUD_SPEED,
+                                 LATENCY_S)
+    result.note(f"analytic crossover B* = {b_star / Mbps:.1f} Mbps")
+    if sim_cross is not None:
+        result.note(
+            f"first simulated bandwidth where offload wins = "
+            f"{sim_cross / Mbps:.1f} Mbps (grid resolution limited)"
+        )
+    return result

@@ -1,0 +1,69 @@
+"""E2 — placement strategy comparison (Table).
+
+Question: which placement strategy wins, where? The full strategy
+catalog runs three workload shapes (data-heavy beamline, compute-heavy
+climate ensemble, mixed random layered DAG) on the science-grid preset
+topology, reporting makespan, bytes moved, energy, and dollars.
+
+Expected shape: HEFT/greedy-EFT lead on makespan overall; data-gravity
+moves the fewest bytes and wins on the beamline (data-heavy) workload;
+cloud-only pays egress dollars; edge-only is energy-frugal but slow on
+compute-heavy work.
+"""
+
+from __future__ import annotations
+
+from itertools import cycle
+
+from repro.bench.harness import ExperimentResult
+from repro.continuum import Tier, hierarchical_continuum, science_grid
+from repro.core import ContinuumScheduler
+from repro.core.strategies import strategy_catalog
+from repro.workloads import beamline_pipeline, climate_ensemble, layered_random_dag
+
+
+def place_externals(topology, externals):
+    """Scatter external datasets over the peripheral sites round-robin
+    (data is born at the edge of the continuum)."""
+    peripheral = [s.name for s in topology.sites if s.tier.is_peripheral]
+    if not peripheral:
+        peripheral = [topology.site_names[0]]
+    sites = cycle(peripheral)
+    return [(dataset, next(sites)) for dataset in externals]
+
+
+def workloads(quick: bool, seed: int):
+    scale = 1 if quick else 2
+    yield "beamline", beamline_pipeline(4 * scale)
+    yield "climate", climate_ensemble(3 * scale)
+    yield "layered", layered_random_dag(15 * scale, seed=seed)
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult("E2", "Strategy comparison across topologies")
+    topologies = [("science-grid", science_grid())]
+    if not quick:
+        topologies.append(("hierarchical", hierarchical_continuum(seed=seed)))
+    for topo_name, topo in topologies:
+        for workload_name, (dag, externals) in workloads(quick, seed):
+            rows_here = []
+            for strategy in strategy_catalog():
+                # fresh DAG/externals not needed: runs don't mutate them
+                sched = ContinuumScheduler(topo, seed=seed)
+                run = sched.run(
+                    dag, strategy,
+                    external_inputs=place_externals(topo, externals),
+                )
+                row = run.summary_row()
+                row = {"topology": topo_name, "workload": workload_name,
+                       **row}
+                rows_here.append(row)
+                result.rows.append(row)
+            best = min(rows_here, key=lambda r: r["makespan_s"])
+            leanest = min(rows_here, key=lambda r: r["bytes_moved"])
+            result.note(
+                f"{topo_name}/{workload_name}: fastest={best['strategy']} "
+                f"({best['makespan_s']:.2f}s), "
+                f"fewest bytes={leanest['strategy']}"
+            )
+    return result

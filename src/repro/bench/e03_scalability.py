@@ -1,0 +1,55 @@
+"""E3 — scheduler scalability (Figure).
+
+Question: how does end-to-end scheduling cost grow with workflow size
+and continuum size? Measures wall-clock time to schedule-and-simulate
+layered random DAGs with HEFT as tasks grow (fixed 20-site continuum)
+and as sites grow (fixed 200 tasks).
+
+Expected shape: near-linear wall time in task count (decision work is
+O(tasks x sites); simulated events per task are bounded); tasks/second
+stays within a small factor across the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.e02_strategies import place_externals
+from repro.continuum import geo_random_continuum
+from repro.core import ContinuumScheduler, HEFTStrategy
+from repro.workloads import layered_random_dag
+
+
+def _run_once(n_tasks: int, n_sites: int, seed: int) -> dict:
+    topo = geo_random_continuum(n_sites, seed=seed)
+    dag, externals = layered_random_dag(n_tasks, n_levels=6, seed=seed)
+    sched = ContinuumScheduler(topo, seed=seed)
+    start = time.perf_counter()
+    run = sched.run(dag, HEFTStrategy(),
+                    external_inputs=place_externals(topo, externals))
+    wall = time.perf_counter() - start
+    return {
+        "n_tasks": n_tasks,
+        "n_sites": n_sites,
+        "wall_s": wall,
+        "tasks_per_s": n_tasks / wall if wall > 0 else float("inf"),
+        "makespan_s": run.makespan,
+    }
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult("E3", "Scheduler scalability (HEFT)")
+    task_sweep = [25, 50, 100] if quick else [50, 100, 200, 400, 800]
+    site_sweep = [5, 10, 20] if quick else [5, 10, 20, 40, 80]
+    for n_tasks in task_sweep:
+        result.rows.append({"sweep": "tasks", **_run_once(n_tasks, 20, seed)})
+    for n_sites in site_sweep:
+        result.rows.append({"sweep": "sites", **_run_once(100, n_sites, seed)})
+    task_rows = [r for r in result.rows if r["sweep"] == "tasks"]
+    growth = task_rows[-1]["wall_s"] / max(task_rows[0]["wall_s"], 1e-9)
+    size_ratio = task_rows[-1]["n_tasks"] / task_rows[0]["n_tasks"]
+    result.note(
+        f"wall time grew {growth:.1f}x for a {size_ratio:.0f}x task increase"
+    )
+    return result

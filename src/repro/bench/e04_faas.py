@@ -1,0 +1,160 @@
+"""E4 — FaaS overheads: cold starts, keep-alive, batching (Table).
+
+Question: what do serverless mechanics cost at the edge? A Poisson
+stream of inference requests hits one edge endpoint under (a) a
+keep-alive TTL sweep (cold-start economics) and (b) a batching-policy
+sweep (latency/throughput trade).
+
+Expected shape: warm starts beat cold by ~the cold/warm ratio on short
+functions; longer TTLs drive the cold fraction toward zero; larger
+batches raise p50 latency (waiting for peers) while cutting total busy
+time per request.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.continuum import Site, Tier
+from repro.faas import (
+    Autoscaler,
+    Batcher,
+    BatchPolicy,
+    ContainerModel,
+    Endpoint,
+    FunctionDef,
+    FunctionRegistry,
+    ScalingPolicy,
+)
+from repro.simcore import Simulator, Timeout
+from repro.utils.rng import RngRegistry
+from repro.utils.stats import summarize
+from repro.workloads import poisson_arrivals
+
+RATE_PER_S = 4.0
+HORIZON_S = 120.0
+FN = FunctionDef("infer", work=0.1, kind="dnn-inference",
+                 request_bytes=2e5, response_bytes=1e4,
+                 batch_overhead_work=0.2)
+
+
+def _endpoint(sim: Simulator, keep_alive: float) -> Endpoint:
+    site = Site("edgebox", Tier.EDGE, speed=1.0, slots=4,
+                specializations={"dnn-inference": 8.0})
+    registry = FunctionRegistry()
+    registry.register(FN)
+    return Endpoint(
+        sim, site, registry,
+        containers=ContainerModel(cold_start_s=2.0, warm_start_s=0.01,
+                                  keep_alive_s=keep_alive),
+    )
+
+
+def _drive_plain(keep_alive: float, seed: int) -> dict:
+    sim = Simulator()
+    ep = _endpoint(sim, keep_alive)
+    arrivals = poisson_arrivals(RATE_PER_S, HORIZON_S,
+                                RngRegistry(seed).stream("e4-arrivals"))
+    latencies = []
+
+    def client(delay):
+        yield Timeout(delay)
+        record = yield ep.invoke("infer")
+        latencies.append(record.service_time)
+
+    for t in arrivals:
+        sim.process(client(float(t)))
+    sim.run()
+    stats = summarize(latencies)
+    total = ep.cold_starts + ep.warm_starts
+    return {
+        "requests": len(latencies),
+        "cold_fraction": ep.cold_starts / total if total else 0.0,
+        "p50_ms": stats.p50 * 1e3,
+        "p95_ms": stats.p95 * 1e3,
+    }
+
+
+def _drive_batched(policy: BatchPolicy, seed: int) -> dict:
+    sim = Simulator()
+    ep = _endpoint(sim, keep_alive=300.0)
+    batcher = Batcher(ep, "infer", policy)
+    arrivals = poisson_arrivals(RATE_PER_S, HORIZON_S,
+                                RngRegistry(seed).stream("e4-arrivals"))
+    latencies = []
+    batch_sizes = []
+
+    def client(delay):
+        yield Timeout(delay)
+        outcome = yield batcher.submit()
+        latencies.append(outcome.latency)
+        batch_sizes.append(outcome.batch_size)
+
+    for t in arrivals:
+        sim.process(client(float(t)))
+    sim.run()
+    stats = summarize(latencies)
+    return {
+        "requests": len(latencies),
+        "mean_batch": sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0,
+        "p50_ms": stats.p50 * 1e3,
+        "p95_ms": stats.p95 * 1e3,
+        "busy_s_per_req": ep.busy_seconds / max(len(latencies), 1),
+    }
+
+
+def _drive_autoscaled(start_workers: int, max_workers: int, seed: int) -> dict:
+    """Bursty load against an elastic endpoint."""
+    sim = Simulator()
+    ep = _endpoint(sim, keep_alive=300.0)
+    ep.workers.set_capacity(start_workers)
+    scaler = Autoscaler(ep, ScalingPolicy(
+        min_workers=start_workers, max_workers=max_workers,
+        scale_up_at=2, step=2, interval_s=0.5, provision_delay_s=3.0,
+    ))
+    scaler.start()
+    arrivals = poisson_arrivals(RATE_PER_S, HORIZON_S,
+                                RngRegistry(seed).stream("e4-arrivals"))
+    latencies = []
+
+    def client(delay):
+        yield Timeout(delay)
+        record = yield ep.invoke("infer")
+        latencies.append(record.service_time)
+
+    for t in arrivals:
+        sim.process(client(float(t)))
+    sim.run()
+    stats = summarize(latencies)
+    return {
+        "requests": len(latencies),
+        "p50_ms": stats.p50 * 1e3,
+        "p95_ms": stats.p95 * 1e3,
+        "mean_workers": ep.workers.time_averaged_capacity(),
+        "peak_workers": max(
+            (e[2] for e in scaler.scaling_events), default=start_workers
+        ),
+    }
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult("E4", "FaaS overheads at an edge endpoint")
+    ttls = [0.0, 10.0, 60.0] if quick else [0.0, 1.0, 10.0, 60.0, 300.0]
+    for ttl in ttls:
+        row = _drive_plain(ttl, seed)
+        result.row(scenario=f"keep-alive={ttl:g}s", **row)
+    policies = [(1, 0.0), (4, 0.05)] if quick else \
+        [(1, 0.0), (4, 0.02), (4, 0.05), (16, 0.05), (16, 0.2)]
+    for max_batch, max_wait in policies:
+        row = _drive_batched(BatchPolicy(max_batch=max_batch,
+                                         max_wait_s=max_wait), seed)
+        result.row(scenario=f"batch<=~{max_batch},wait={max_wait * 1e3:g}ms",
+                   **row)
+    row = _drive_autoscaled(start_workers=1, max_workers=8, seed=seed)
+    result.row(scenario="autoscale(1..8)", **row)
+    result.note("cold start 2 s vs warm 10 ms; work 0.1 on 8x accelerator")
+    result.note("batching trades p50 (waiting for peers) for busy-time/request")
+    result.note(
+        "autoscaled pool starts at 1 worker; threshold scaling keeps the "
+        "mean pool small at this load"
+    )
+    return result

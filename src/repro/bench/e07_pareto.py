@@ -1,0 +1,59 @@
+"""E7 — makespan / energy / dollars Pareto front (Figure).
+
+Question: is there one best placement policy, or a genuine trade-off
+surface? A climate ensemble runs on the hierarchical continuum under the
+multi-objective strategy with a sweep of weight vectors over the
+(time, energy, usd) simplex; each run yields one point.
+
+Expected shape: no single point dominates; the front is non-trivial
+(several weightings survive); pure-time sits at high energy/cost, pure
+energy/cost sit at high makespan.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.e02_strategies import place_externals
+from repro.continuum import hierarchical_continuum
+from repro.core import ContinuumScheduler, MultiObjectiveStrategy
+from repro.core.strategies import pareto_front
+from repro.workloads import climate_ensemble
+
+WEIGHT_GRID = [
+    {"time": 1.0},
+    {"energy": 1.0},
+    {"usd": 1.0},
+    {"time": 0.5, "energy": 0.5},
+    {"time": 0.5, "usd": 0.5},
+    {"energy": 0.5, "usd": 0.5},
+    {"time": 0.34, "energy": 0.33, "usd": 0.33},
+    {"time": 0.8, "energy": 0.1, "usd": 0.1},
+    {"time": 0.1, "energy": 0.8, "usd": 0.1},
+    {"time": 0.1, "energy": 0.1, "usd": 0.8},
+]
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult("E7", "Multi-objective Pareto front")
+    topo = hierarchical_continuum(seed=seed)
+    dag, externals = climate_ensemble(3 if quick else 6)
+    grid = WEIGHT_GRID[:6] if quick else WEIGHT_GRID
+    points = []
+    for weights in grid:
+        strategy = MultiObjectiveStrategy(weights)
+        run = ContinuumScheduler(topo, seed=seed).run(
+            dag, strategy, external_inputs=place_externals(topo, externals)
+        )
+        points.append({
+            "weights": strategy.name,
+            "makespan_s": run.makespan,
+            "energy_j": run.energy_j,
+            "usd": run.total_usd,
+        })
+    front = set(pareto_front(points, ["makespan_s", "energy_j", "usd"]))
+    for i, point in enumerate(points):
+        result.row(**point, on_front=i in front)
+    result.note(f"{len(front)}/{len(points)} weightings are Pareto-optimal")
+    dominated = len(points) - len(front)
+    result.note(f"{dominated} weightings dominated (redundant policies)")
+    return result

@@ -1,0 +1,43 @@
+"""Shared experiment-result plumbing."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.utils.tables import ascii_table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated table/series."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def row(self, **fields) -> dict:
+        self.rows.append(fields)
+        return fields
+
+
+def render(result: ExperimentResult) -> str:
+    """ASCII rendering: the table plus its notes."""
+    parts = [ascii_table(result.rows,
+                         title=f"{result.experiment_id}: {result.title}")]
+    for note in result.notes:
+        parts.append(f"  - {note}")
+    return "\n".join(parts)
+
+
+def save_result(result: ExperimentResult, directory: str = "results") -> str:
+    """Persist the rendered table under ``results/<id>.txt``; returns path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment_id.lower()}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render(result) + "\n")
+    return path

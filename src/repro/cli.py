@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``topology`` — describe a preset or JSON topology, optionally save a
+  preset to JSON for editing,
+- ``dag`` — render a preset workload's DAG as DOT or Mermaid,
+- ``schedule`` — run a preset workload on a topology under a strategy
+  and print the summary, utilization, and Gantt chart,
+- ``bench`` — alias pointing at :mod:`repro.bench`'s CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.continuum import (
+    hierarchical_continuum,
+    load_topology,
+    save_topology,
+    science_grid,
+    smart_city,
+)
+from repro.core import ContinuumScheduler, slo_report
+from repro.core.strategies import strategy_catalog
+from repro.errors import ContinuumError
+from repro.report import ascii_gantt, dag_to_dot, dag_to_mermaid, utilization_table
+from repro.workflow import load_workload, save_workload
+from repro.workloads import (
+    beamline_pipeline,
+    climate_ensemble,
+    layered_random_dag,
+    montage_like_dag,
+    stencil_dag,
+)
+
+PRESET_TOPOLOGIES = {
+    "science-grid": science_grid,
+    "smart-city": smart_city,
+    "hierarchical": hierarchical_continuum,
+}
+
+PRESET_WORKLOADS = {
+    "beamline": lambda seed: beamline_pipeline(6),
+    "climate": lambda seed: climate_ensemble(4),
+    "montage": lambda seed: montage_like_dag(4),
+    "layered": lambda seed: layered_random_dag(20, seed=seed),
+    "stencil": lambda seed: stencil_dag(4, 4),
+}
+
+
+def _get_workload(args):
+    """A preset name (``--workload``) or a saved file (``--dag``)."""
+    if getattr(args, "dag", None):
+        return load_workload(args.dag)
+    return PRESET_WORKLOADS[args.workload](args.seed)
+
+
+def _get_topology(spec: str):
+    """Preset name or a path to a topology JSON file."""
+    builder = PRESET_TOPOLOGIES.get(spec)
+    if builder is not None:
+        return builder()
+    return load_topology(spec)
+
+
+def _get_strategy(name: str):
+    for strategy in strategy_catalog(include_adaptive=True):
+        if strategy.name == name:
+            return strategy
+    known = [s.name for s in strategy_catalog(include_adaptive=True)]
+    raise ContinuumError(f"unknown strategy {name!r}; known: {known}")
+
+
+def _cmd_topology(args) -> int:
+    topo = _get_topology(args.spec)
+    print(topo.describe())
+    for site in topo.sites:
+        spec = ""
+        if site.specializations:
+            spec = " " + ",".join(
+                f"{k}x{v:g}" for k, v in site.specializations.items()
+            )
+        print(f"  {site.name:<16} {site.tier.name.lower():<7} "
+              f"speed={site.speed:g} slots={site.slots}{spec}")
+    if args.save:
+        save_topology(topo, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_dag(args) -> int:
+    dag, externals = PRESET_WORKLOADS[args.workload](args.seed)
+    if args.save:
+        save_workload(args.save, dag, externals)
+        print(f"saved workload to {args.save}")
+        return 0
+    if args.format == "dot":
+        print(dag_to_dot(dag, include_datasets=args.datasets))
+    else:
+        print(dag_to_mermaid(dag))
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    topo = _get_topology(args.topology)
+    dag, externals = _get_workload(args)
+    peripheral = [s.name for s in topo.sites if s.tier.is_peripheral]
+    sources = peripheral or topo.site_names
+    placed = [(d, sources[i % len(sources)]) for i, d in enumerate(externals)]
+    strategy = _get_strategy(args.strategy)
+    result = ContinuumScheduler(topo, seed=args.seed).run(
+        dag, strategy, external_inputs=placed
+    )
+    row = result.summary_row()
+    print(f"workflow {dag.name!r} on {topo.name!r} via {strategy.name!r}:")
+    print(f"  makespan   {row['makespan_s']:.3f} s")
+    print(f"  data moved {result.bytes_moved:.3g} B")
+    print(f"  energy     {result.energy_j:.3g} J")
+    print(f"  cost       ${result.total_usd:.4g}")
+    slo = slo_report(result.records.values())
+    if slo.total:
+        print(f"  SLOs       {slo.met}/{slo.total}")
+    print()
+    print(utilization_table(result))
+    print()
+    print(ascii_gantt(result))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="continuum computing toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topology", help="describe a topology")
+    p_topo.add_argument("spec",
+                        help=f"preset ({', '.join(PRESET_TOPOLOGIES)}) or "
+                             f"JSON path")
+    p_topo.add_argument("--save", metavar="FILE", default=None)
+    p_topo.set_defaults(func=_cmd_topology)
+
+    p_dag = sub.add_parser("dag", help="render a preset workload DAG")
+    p_dag.add_argument("workload", choices=sorted(PRESET_WORKLOADS))
+    p_dag.add_argument("--format", choices=("dot", "mermaid"), default="dot")
+    p_dag.add_argument("--datasets", action="store_true",
+                       help="show dataflow through dataset nodes (dot only)")
+    p_dag.add_argument("--seed", type=int, default=0)
+    p_dag.add_argument("--save", metavar="FILE", default=None,
+                       help="save the workload (DAG + externals) as JSON")
+    p_dag.set_defaults(func=_cmd_dag)
+
+    p_run = sub.add_parser("schedule", help="run a workload on a topology")
+    p_run.add_argument("--topology", default="science-grid")
+    p_run.add_argument("--workload", choices=sorted(PRESET_WORKLOADS),
+                       default="beamline")
+    p_run.add_argument("--dag", metavar="FILE", default=None,
+                       help="saved workload JSON (overrides --workload)")
+    p_run.add_argument("--strategy", default="heft")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=_cmd_schedule)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ContinuumError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

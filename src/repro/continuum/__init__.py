@@ -1,0 +1,58 @@
+"""Infrastructure model of the computing continuum.
+
+The keynote's premise is that computing now spans a *continuum* of
+resources — devices, edge boxes, fog/campus clusters, commercial clouds,
+and HPC centers — joined by networks whose latency is bounded by the speed
+of light and whose bandwidth keeps growing (Gilder). This package models
+exactly those pieces:
+
+- :class:`Tier` — the five resource classes,
+- :class:`Site` — a named compute location (speed, worker slots, memory,
+  energy & pricing models, geographic position, accelerator specializations),
+- :class:`Link` — a network edge (propagation latency, bandwidth, $/byte),
+- :class:`Topology` — a routed graph of sites and links,
+- builders — common shapes (hierarchical continuum, star, presets).
+"""
+
+from repro.continuum.tiers import Tier
+from repro.continuum.power import PowerModel
+from repro.continuum.pricing import PricingModel
+from repro.continuum.site import Site
+from repro.continuum.link import Link
+from repro.continuum.topology import PathInfo, Topology
+from repro.continuum.serialize import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.continuum.builders import (
+    edge_cloud_pair,
+    geo_random_continuum,
+    hierarchical_continuum,
+    linear_chain,
+    science_grid,
+    smart_city,
+    star_topology,
+)
+
+__all__ = [
+    "Tier",
+    "PowerModel",
+    "PricingModel",
+    "Site",
+    "Link",
+    "PathInfo",
+    "Topology",
+    "edge_cloud_pair",
+    "geo_random_continuum",
+    "hierarchical_continuum",
+    "linear_chain",
+    "science_grid",
+    "smart_city",
+    "star_topology",
+    "load_topology",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+]

@@ -1,0 +1,116 @@
+"""Topology (de)serialization: reproducible infrastructure configs.
+
+A topology round-trips through a plain dict (and therefore JSON), so
+experiment configurations can live in version control and be shared —
+the "infrastructure as data" counterpart to seeded workloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.continuum.link import Link
+from repro.continuum.power import PowerModel
+from repro.continuum.pricing import PricingModel
+from repro.continuum.site import Site
+from repro.continuum.tiers import Tier
+from repro.continuum.topology import Topology
+from repro.errors import TopologyError
+
+_FORMAT_VERSION = 1
+
+
+def site_to_dict(site: Site) -> dict:
+    return {
+        "name": site.name,
+        "tier": site.tier.name,
+        "speed": site.speed,
+        "slots": site.slots,
+        "memory_bytes": site.memory_bytes,
+        "power": {"idle_watts": site.power.idle_watts,
+                  "busy_watts": site.power.busy_watts},
+        "pricing": {"usd_per_core_hour": site.pricing.usd_per_core_hour,
+                    "usd_per_gb_egress": site.pricing.usd_per_gb_egress},
+        "location_km": list(site.location_km),
+        "specializations": dict(site.specializations),
+    }
+
+
+def site_from_dict(data: dict) -> Site:
+    try:
+        return Site(
+            name=data["name"],
+            tier=Tier.parse(data["tier"]),
+            speed=data.get("speed", 1.0),
+            slots=data.get("slots", 1),
+            memory_bytes=data.get("memory_bytes", 8e9),
+            power=PowerModel(**data.get("power", {})),
+            pricing=PricingModel(**data.get("pricing", {})),
+            location_km=tuple(data.get("location_km", (0.0, 0.0))),
+            specializations=dict(data.get("specializations", {})),
+        )
+    except KeyError as exc:
+        raise TopologyError(f"site dict missing field {exc}") from None
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    """Plain-data snapshot of a topology (JSON-safe)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": topology.name,
+        "sites": [site_to_dict(s) for s in topology.sites],
+        "links": [
+            {"a": a, "b": b, "latency_s": link.latency_s,
+             "bandwidth_Bps": link.bandwidth_Bps,
+             "usd_per_gb": link.usd_per_gb}
+            for a, b, link in topology.links()
+        ],
+    }
+
+
+def topology_from_dict(data: dict) -> Topology:
+    """Rebuild a topology; validates structure and connectivity."""
+    if not isinstance(data, dict) or "sites" not in data:
+        raise TopologyError("topology dict missing 'sites'")
+    if data.get("version", _FORMAT_VERSION) != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {data.get('version')}"
+        )
+    topo = Topology(data.get("name", "topology"))
+    for site_data in data["sites"]:
+        topo.add_site(site_from_dict(site_data))
+    for link_data in data.get("links", []):
+        try:
+            topo.add_link(
+                link_data["a"], link_data["b"],
+                Link(latency_s=link_data["latency_s"],
+                     bandwidth_Bps=link_data["bandwidth_Bps"],
+                     usd_per_gb=link_data.get("usd_per_gb", 0.0)),
+            )
+        except KeyError as exc:
+            raise TopologyError(f"link dict missing field {exc}") from None
+    topo.validate()
+    return topo
+
+
+def save_topology(topology: Topology, path: str) -> None:
+    """Write a topology as JSON (atomically)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(topology_to_dict(topology), handle, indent=1, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_topology(path: str) -> Topology:
+    """Read a topology JSON file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise TopologyError(f"no topology file at {path!r}") from None
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"corrupt topology file {path!r}: {exc}") from exc
+    return topology_from_dict(data)

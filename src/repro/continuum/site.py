@@ -1,0 +1,78 @@
+"""Sites: the compute locations of the continuum."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.continuum.power import PowerModel
+from repro.continuum.pricing import PricingModel
+from repro.continuum.tiers import Tier
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Site:
+    """One compute location.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a topology.
+    tier:
+        Continuum tier (DEVICE..HPC).
+    speed:
+        Work units processed per second *per slot*. 1.0 is the reference
+        core; a cloud VM might be 4.0 and an HPC node 16.0.
+    slots:
+        Number of parallel worker slots (cores/containers).
+    memory_bytes:
+        RAM available for staged datasets and running tasks.
+    power / pricing:
+        Energy and monetary models (see their modules).
+    location_km:
+        (x, y) position in kilometres; used by builders to derive
+        speed-of-light propagation latency for links.
+    specializations:
+        Mapping from task ``kind`` to a speed multiplier — Gilder's
+        "special-purpose appliances" (e.g. ``{"dnn-inference": 20.0}``
+        for a GPU box). Unlisted kinds run at base speed.
+    """
+
+    name: str
+    tier: Tier
+    speed: float = 1.0
+    slots: int = 1
+    memory_bytes: float = 8e9
+    power: PowerModel = field(default_factory=PowerModel)
+    pricing: PricingModel = field(default_factory=PricingModel)
+    location_km: tuple[float, float] = (0.0, 0.0)
+    specializations: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        check_positive("speed", self.speed)
+        check_positive("slots", self.slots)
+        check_non_negative("memory_bytes", self.memory_bytes)
+        object.__setattr__(self, "tier", Tier.parse(self.tier))
+        object.__setattr__(self, "slots", int(self.slots))
+        for kind, mult in self.specializations.items():
+            check_positive(f"specializations[{kind!r}]", mult)
+
+    def effective_speed(self, kind: str | None = None) -> float:
+        """Speed for a task of ``kind`` on this site (work units/s/slot)."""
+        if kind is None:
+            return self.speed
+        return self.speed * self.specializations.get(kind, 1.0)
+
+    def service_time(self, work: float, kind: str | None = None) -> float:
+        """Seconds one slot needs for ``work`` units of a ``kind`` task."""
+        check_non_negative("work", work)
+        return work / self.effective_speed(kind)
+
+    def distance_km(self, other: "Site") -> float:
+        """Euclidean distance to another site's location."""
+        dx = self.location_km[0] - other.location_km[0]
+        dy = self.location_km[1] - other.location_km[1]
+        return (dx * dx + dy * dy) ** 0.5
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.tier.name.lower()})"

@@ -1,0 +1,64 @@
+"""The five tiers of the computing continuum."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Tier(Enum):
+    """Resource class of a site, ordered from the periphery inward.
+
+    The integer values order tiers by "distance from the data source":
+    DEVICE (sensors, instruments) < EDGE (on-prem gateways) < FOG
+    (campus/metro clusters) < CLOUD (commercial datacenters) < HPC
+    (supercomputing centers). Several placement strategies use this
+    ordering (e.g. "push work as close to the data as it fits").
+    """
+
+    DEVICE = 0
+    EDGE = 1
+    FOG = 2
+    CLOUD = 3
+    HPC = 4
+
+    @property
+    def is_peripheral(self) -> bool:
+        """True for tiers co-located with data sources."""
+        return self in (Tier.DEVICE, Tier.EDGE)
+
+    @property
+    def is_central(self) -> bool:
+        """True for big shared facilities (cloud, HPC)."""
+        return self in (Tier.CLOUD, Tier.HPC)
+
+    def __lt__(self, other: "Tier") -> bool:
+        if not isinstance(other, Tier):
+            return NotImplemented
+        return self.value < other.value
+
+    def __le__(self, other: "Tier") -> bool:
+        if not isinstance(other, Tier):
+            return NotImplemented
+        return self.value <= other.value
+
+    def __gt__(self, other: "Tier") -> bool:
+        if not isinstance(other, Tier):
+            return NotImplemented
+        return self.value > other.value
+
+    def __ge__(self, other: "Tier") -> bool:
+        if not isinstance(other, Tier):
+            return NotImplemented
+        return self.value >= other.value
+
+    @classmethod
+    def parse(cls, value) -> "Tier":
+        """Accept a Tier, its name (any case), or its integer value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(f"unknown tier name {value!r}") from None
+        return cls(value)

@@ -1,0 +1,171 @@
+"""Routed topology of sites and links.
+
+A :class:`Topology` is an undirected multigraph-free graph (one link per
+site pair) with latency-weighted shortest-path routing. Effective path
+properties follow the usual composition rules: latencies add, bandwidth is
+the bottleneck minimum, monetary transfer costs add.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.continuum.link import Link
+from repro.continuum.site import Site
+from repro.continuum.tiers import Tier
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """Composed properties of a routed path between two sites."""
+
+    src: str
+    dst: str
+    hops: tuple[str, ...]          # site names, inclusive of endpoints
+    latency_s: float               # one-way, sum over links
+    bandwidth_Bps: float           # bottleneck (min over links)
+    usd_per_gb: float              # sum over links
+
+    @property
+    def hop_count(self) -> int:
+        return max(len(self.hops) - 1, 0)
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Unloaded end-to-end time for ``size_bytes`` along this path."""
+        if size_bytes < 0:
+            raise TopologyError(f"negative transfer size {size_bytes}")
+        if self.hop_count == 0:
+            return 0.0
+        return self.latency_s + size_bytes / self.bandwidth_Bps
+
+    def transfer_cost(self, size_bytes: float) -> float:
+        """Dollars to move ``size_bytes`` along this path."""
+        return self.usd_per_gb * (float(size_bytes) / 1e9)
+
+
+class Topology:
+    """Mutable-at-build-time, routed continuum graph.
+
+    Site and link mutation invalidates the routing cache, so topologies
+    can be assembled incrementally and then queried cheaply.
+    """
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self.graph = nx.Graph()
+        self._sites: dict[str, Site] = {}
+        self._path_cache: dict[tuple[str, str], PathInfo] = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_site(self, site: Site) -> Site:
+        if site.name in self._sites:
+            raise TopologyError(f"duplicate site name {site.name!r}")
+        self._sites[site.name] = site
+        self.graph.add_node(site.name)
+        self._path_cache.clear()
+        return site
+
+    def add_link(self, a: str, b: str, link: Link) -> Link:
+        for end in (a, b):
+            if end not in self._sites:
+                raise TopologyError(f"unknown site {end!r} in link")
+        if a == b:
+            raise TopologyError(f"self-link on {a!r}")
+        if self.graph.has_edge(a, b):
+            raise TopologyError(f"duplicate link {a!r}--{b!r}")
+        self.graph.add_edge(a, b, link=link, weight=link.latency_s)
+        self._path_cache.clear()
+        return link
+
+    # -- lookup -------------------------------------------------------------------
+    @property
+    def site_names(self) -> list[str]:
+        return list(self._sites)
+
+    @property
+    def sites(self) -> list[Site]:
+        return list(self._sites.values())
+
+    def site(self, name: str) -> Site:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise TopologyError(f"unknown site {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def sites_by_tier(self, tier: Tier | str) -> list[Site]:
+        tier = Tier.parse(tier)
+        return [s for s in self._sites.values() if s.tier == tier]
+
+    def link(self, a: str, b: str) -> Link:
+        try:
+            return self.graph.edges[a, b]["link"]
+        except KeyError:
+            raise TopologyError(f"no link {a!r}--{b!r}") from None
+
+    def links(self) -> list[tuple[str, str, Link]]:
+        return [(a, b, data["link"]) for a, b, data in self.graph.edges(data=True)]
+
+    # -- routing ---------------------------------------------------------------------
+    def path_info(self, src: str, dst: str) -> PathInfo:
+        """Latency-optimal route from ``src`` to ``dst`` with composed
+        properties. Identical endpoints give a zero-latency,
+        infinite-bandwidth local path."""
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        for end in (src, dst):
+            if end not in self._sites:
+                raise TopologyError(f"unknown site {end!r}")
+        if src == dst:
+            info = PathInfo(src, dst, (src,), 0.0, math.inf, 0.0)
+        else:
+            try:
+                hops = nx.shortest_path(self.graph, src, dst, weight="weight")
+            except nx.NetworkXNoPath:
+                raise TopologyError(f"no route between {src!r} and {dst!r}") from None
+            latency = 0.0
+            bandwidth = math.inf
+            cost = 0.0
+            for a, b in zip(hops, hops[1:]):
+                link = self.graph.edges[a, b]["link"]
+                latency += link.latency_s
+                bandwidth = min(bandwidth, link.bandwidth_Bps)
+                cost += link.usd_per_gb
+            info = PathInfo(src, dst, tuple(hops), latency, bandwidth, cost)
+        self._path_cache[key] = info
+        return info
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` unless the topology is non-empty
+        and fully connected (every site can reach every other)."""
+        if not self._sites:
+            raise TopologyError("topology has no sites")
+        if len(self._sites) > 1 and not nx.is_connected(self.graph):
+            components = [sorted(c) for c in nx.connected_components(self.graph)]
+            raise TopologyError(f"topology is disconnected: {components}")
+
+    # -- summary ---------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary (used by examples)."""
+        by_tier = {}
+        for site in self._sites.values():
+            by_tier.setdefault(site.tier.name, []).append(site.name)
+        tiers = ", ".join(f"{len(v)} {k.lower()}" for k, v in sorted(by_tier.items()))
+        return (
+            f"{self.name}: {len(self._sites)} sites ({tiers}), "
+            f"{self.graph.number_of_edges()} links"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Topology {self.name!r} sites={len(self._sites)}>"

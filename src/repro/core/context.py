@@ -1,0 +1,107 @@
+"""Scheduling context: the planner-visible state strategies consult.
+
+Holds the topology, catalog-backed cost model, per-site slot availability
+estimates, and RNG streams. The scheduler owns one instance per run and
+keeps the slot estimates current as it assigns and completes tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.continuum.site import Site
+from repro.continuum.topology import Topology
+from repro.core.cost import CostModel, TaskEstimate
+from repro.datafabric.catalog import ReplicaCatalog
+from repro.errors import SchedulingError
+from repro.utils.rng import RngRegistry
+from repro.workflow.task import TaskSpec
+
+
+class SchedulingContext:
+    """What a placement strategy may look at and touch."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        catalog: ReplicaCatalog,
+        *,
+        rngs: RngRegistry | None = None,
+        candidate_sites: list[str] | None = None,
+    ):
+        self.topology = topology
+        self.catalog = catalog
+        self.cost = CostModel(topology, catalog)
+        self.rngs = rngs or RngRegistry(0)
+        names = candidate_sites if candidate_sites is not None else topology.site_names
+        if not names:
+            raise SchedulingError("no candidate sites")
+        self._all_candidates: list[Site] = [topology.site(n) for n in names]
+        self._down: set[str] = set()
+        self._slots: dict[str, np.ndarray] = {
+            s.name: np.zeros(s.slots) for s in self._all_candidates
+        }
+        self._now = 0.0
+
+    @property
+    def candidates(self) -> list[Site]:
+        """Candidate sites currently up (failure injection hides the
+        dark ones from strategies)."""
+        if not self._down:
+            return list(self._all_candidates)
+        return [s for s in self._all_candidates if s.name not in self._down]
+
+    # -- availability (failure injection) -----------------------------------------
+    def mark_down(self, site: str) -> None:
+        if site not in self._slots:
+            raise SchedulingError(f"{site!r} is not a candidate site")
+        self._down.add(site)
+
+    def mark_up(self, site: str) -> None:
+        self._down.discard(site)
+
+    def is_down(self, site: str) -> bool:
+        return site in self._down
+
+    # -- clock (scheduler-maintained) ------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def set_now(self, t: float) -> None:
+        self._now = t
+
+    # -- slot availability estimates ----------------------------------------------
+    def est_available(self, site: str) -> float:
+        """Earliest time a slot at ``site`` is expected to be free."""
+        try:
+            slots = self._slots[site]
+        except KeyError:
+            raise SchedulingError(f"{site!r} is not a candidate site") from None
+        return max(float(slots.min()), self._now)
+
+    def reserve(self, site: str, finish_time: float) -> None:
+        """Record that the earliest slot at ``site`` is now believed busy
+        until ``finish_time``."""
+        slots = self._slots[site]
+        slots[int(slots.argmin())] = finish_time
+
+    def load_of(self, site: str) -> float:
+        """Mean remaining busy time across slots (a load signal for
+        least-loaded tie-breaking)."""
+        slots = self._slots[site]
+        return float(np.maximum(slots - self._now, 0.0).mean())
+
+    # -- planner estimates ------------------------------------------------------------
+    def estimate(self, task: TaskSpec, site: Site) -> TaskEstimate:
+        return self.cost.estimate(task, site)
+
+    def estimate_finish(self, task: TaskSpec, site: Site) -> tuple[TaskEstimate, float]:
+        """EFT rule: staging overlaps the queue wait; execution starts at
+        ``max(now + stage, slot available)`` and runs for ``exec``."""
+        est = self.cost.estimate(task, site)
+        start = max(self._now + est.stage_time_s, self.est_available(site.name))
+        return est, start + est.exec_time_s
+
+    def site(self, name: str) -> Site:
+        return self.topology.site(name)

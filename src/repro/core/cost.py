@@ -1,0 +1,119 @@
+"""Cost estimation: the planner's view of time, bytes, energy, dollars.
+
+A :class:`CostModel` answers "what would running task T at site S cost?"
+using only catalog and topology state — no simulation. Strategies rank
+candidate sites with these estimates; the scheduler then measures what
+actually happens (contention makes reality worse than the estimate, which
+is exactly the gap E2 quantifies between planner quality levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.continuum.site import Site
+from repro.continuum.topology import Topology
+from repro.datafabric.catalog import ReplicaCatalog
+from repro.errors import SchedulingError
+from repro.workflow.task import TaskSpec
+
+
+@dataclass(frozen=True)
+class TaskEstimate:
+    """Planner estimate for one (task, site) pairing."""
+
+    task: str
+    site: str
+    stage_time_s: float      # move missing inputs to the site (unloaded)
+    exec_time_s: float       # service time at the site
+    bytes_moved: float       # input bytes not already resident
+    energy_j: float          # marginal execution energy
+    compute_usd: float       # slot-time dollars
+    transfer_usd: float      # data movement dollars along chosen paths
+
+    @property
+    def total_time_s(self) -> float:
+        return self.stage_time_s + self.exec_time_s
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.transfer_usd
+
+
+class CostModel:
+    """Estimates built from topology + replica catalog state."""
+
+    def __init__(self, topology: Topology, catalog: ReplicaCatalog):
+        self.topology = topology
+        self.catalog = catalog
+        # nearest-source memo: (dataset, site) -> (src, est), valid for
+        # one catalog version. Placement evaluates every candidate site
+        # for every ready task, so identical lookups repeat heavily
+        # within a dispatch round; this cache was the top line of the
+        # scheduler profile before it existed.
+        self._nearest_cache: dict[tuple[str, str], tuple[str, float]] = {}
+        self._cache_version = catalog.version
+
+    def exec_time(self, task: TaskSpec, site: Site) -> float:
+        """Service time of ``task`` on one slot of ``site``."""
+        return site.service_time(task.work, kind=task.kind)
+
+    def _nearest(self, name: str, site_name: str) -> tuple[str, float]:
+        if self._cache_version != self.catalog.version:
+            self._nearest_cache.clear()
+            self._cache_version = self.catalog.version
+        key = (name, site_name)
+        hit = self._nearest_cache.get(key)
+        if hit is None:
+            hit = self.catalog.nearest_source(self.topology, name, site_name)
+            self._nearest_cache[key] = hit
+        return hit
+
+    def stage_plan(
+        self, task: TaskSpec, site: Site
+    ) -> list[tuple[str, str, float]]:
+        """For each input not at ``site``: ``(dataset, source, seconds)``
+        using the nearest replica. Raises if an input has no replica
+        anywhere (a dependency not yet produced — planner misuse)."""
+        plan = []
+        for name in task.inputs:
+            if self.catalog.has_replica(name, site.name):
+                continue
+            src, est = self._nearest(name, site.name)
+            plan.append((name, src, est))
+        return plan
+
+    def estimate(self, task: TaskSpec, site: Site) -> TaskEstimate:
+        """Full planner estimate for placing ``task`` at ``site``.
+
+        Staging of multiple inputs is assumed parallel (time = max), as
+        the scheduler indeed fetches them concurrently.
+        """
+        plan = self.stage_plan(task, site)
+        stage_time = max((t for _, _, t in plan), default=0.0)
+        bytes_moved = sum(
+            self.catalog.dataset(name).size_bytes for name, _, _ in plan
+        )
+        transfer_usd = sum(
+            self.topology.path_info(src, site.name).transfer_cost(
+                self.catalog.dataset(name).size_bytes
+            )
+            for name, src, _ in plan
+        )
+        exec_time = self.exec_time(task, site)
+        return TaskEstimate(
+            task=task.name,
+            site=site.name,
+            stage_time_s=stage_time,
+            exec_time_s=exec_time,
+            bytes_moved=bytes_moved,
+            energy_j=site.power.marginal_energy(exec_time),
+            compute_usd=site.pricing.compute_cost(exec_time),
+            transfer_usd=transfer_usd,
+        )
+
+    def mean_exec_time(self, task: TaskSpec, sites: list[Site]) -> float:
+        """Average service time across candidate sites (HEFT ranking)."""
+        if not sites:
+            raise SchedulingError("mean_exec_time over an empty site list")
+        return sum(self.exec_time(task, s) for s in sites) / len(sites)

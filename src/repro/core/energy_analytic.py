@@ -1,0 +1,147 @@
+"""Energy offload calculus: when does shipping work *save joules*?
+
+The time calculus (:mod:`repro.core.analytic`) answers "is offload
+faster?". Battery-bound devices ask a different question — "is offload
+cheaper in energy?" — with its own crossover, the classic result of the
+mobile-offloading literature (Kumar & Lu, *Computer* 2010):
+
+- compute locally:  ``E_local = P_busy * work / s_local``
+- offload:          ``E_off   = P_tx * D_up / B_up + P_rx * D_down / B_down
+  + P_idle * t_remote_wait``
+
+Offloading saves energy when the radio cost of moving the data (plus
+idling through the remote computation) undercuts the local computation's
+draw. Large ``work``-to-``data`` ratios favour offload; chatty
+small-compute tasks never should.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Device-side power draw in each state (watts)."""
+
+    busy_watts: float = 4.0     # CPU fully active
+    tx_watts: float = 1.8       # radio transmitting
+    rx_watts: float = 1.2       # radio receiving
+    idle_watts: float = 0.3     # waiting for the remote result
+
+    def __post_init__(self):
+        for name in ("busy_watts", "tx_watts", "rx_watts", "idle_watts"):
+            check_non_negative(name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class EnergyDecision:
+    """Outcome of a local-vs-offload energy analysis."""
+
+    local_energy_j: float
+    offload_energy_j: float
+    local_time_s: float
+    offload_time_s: float
+
+    @property
+    def offload_saves_energy(self) -> bool:
+        return self.offload_energy_j < self.local_energy_j
+
+    @property
+    def offload_saves_time(self) -> bool:
+        return self.offload_time_s < self.local_time_s
+
+    @property
+    def win_win(self) -> bool:
+        """Offload both faster *and* more frugal — the regime where the
+        decision is easy; outside it, policy must pick an objective."""
+        return self.offload_saves_energy and self.offload_saves_time
+
+
+def energy_offload_analysis(
+    work: float,
+    data_up_bytes: float,
+    *,
+    local_speed: float,
+    remote_speed: float,
+    bandwidth_Bps: float,
+    profile: EnergyProfile | None = None,
+    data_down_bytes: float = 0.0,
+    latency_s: float = 0.0,
+) -> EnergyDecision:
+    """Device-energy comparison of computing locally vs offloading.
+
+    The remote machine's own energy is *not* counted — this is the
+    battery's ledger (datacenter joules are someone else's bill; use
+    :class:`repro.core.cost.CostModel` for fleet-wide accounting).
+    """
+    check_non_negative("work", work)
+    check_non_negative("data_up_bytes", data_up_bytes)
+    check_non_negative("data_down_bytes", data_down_bytes)
+    check_positive("local_speed", local_speed)
+    check_positive("remote_speed", remote_speed)
+    check_positive("bandwidth_Bps", bandwidth_Bps)
+    check_non_negative("latency_s", latency_s)
+    profile = profile or EnergyProfile()
+
+    t_local = work / local_speed
+    e_local = profile.busy_watts * t_local
+
+    t_up = data_up_bytes / bandwidth_Bps
+    t_down = data_down_bytes / bandwidth_Bps
+    t_wait = work / remote_speed + 2.0 * latency_s
+    t_offload = t_up + t_wait + t_down
+    e_offload = (
+        profile.tx_watts * t_up
+        + profile.idle_watts * t_wait
+        + profile.rx_watts * t_down
+    )
+    return EnergyDecision(
+        local_energy_j=e_local,
+        offload_energy_j=e_offload,
+        local_time_s=t_local,
+        offload_time_s=t_offload,
+    )
+
+
+def energy_crossover_work(
+    data_up_bytes: float,
+    *,
+    local_speed: float,
+    remote_speed: float,
+    bandwidth_Bps: float,
+    profile: EnergyProfile | None = None,
+    data_down_bytes: float = 0.0,
+    latency_s: float = 0.0,
+) -> float | None:
+    """Work units above which offloading this payload saves energy.
+
+    Solves ``E_local(work) = E_offload(work)`` for ``work``; both sides
+    are linear in work, so the crossover is closed-form. Returns None
+    when offload never pays (the device computes more cheaply per work
+    unit than it idles per remote work unit — only possible when the
+    remote is slower relative to the idle/busy power ratio).
+    """
+    check_positive("local_speed", local_speed)
+    check_positive("remote_speed", remote_speed)
+    check_positive("bandwidth_Bps", bandwidth_Bps)
+    profile = profile or EnergyProfile()
+
+    # E_local = (busy/s_l) * w
+    # E_off   = fixed + (idle/s_r) * w
+    per_work_local = profile.busy_watts / local_speed
+    per_work_offload = profile.idle_watts / remote_speed
+    fixed = (
+        profile.tx_watts * data_up_bytes / bandwidth_Bps
+        + profile.rx_watts * data_down_bytes / bandwidth_Bps
+        + profile.idle_watts * 2.0 * latency_s
+    )
+    slope = per_work_local - per_work_offload
+    if slope <= 0:
+        return None
+    if fixed == 0:
+        return 0.0
+    return fixed / slope

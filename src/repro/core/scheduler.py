@@ -1,0 +1,506 @@
+"""The continuum scheduler: execute workflow DAGs on a simulated continuum.
+
+Two entry points share one engine:
+
+- :meth:`ContinuumScheduler.run` — one DAG, returns a
+  :class:`ScheduleResult` (measured makespan, data movement, energy,
+  dollars, per-task lifecycles),
+- :meth:`ContinuumScheduler.run_stream` — many DAGs arriving over time
+  (the online continuum), returns a :class:`StreamResult` with per-job
+  response times on top of the aggregate accounting.
+
+Execution semantics per task:
+
+1. becomes *ready* when all dependencies complete (and its job arrived),
+2. the strategy picks a site (``pinned_site`` overrides),
+3. all missing inputs stage to that site concurrently (shared flows
+   dedupe via the transfer service),
+4. the task queues for a worker slot, executes for
+   ``work / site.effective_speed(kind)``, and
+5. its outputs register as replicas at the site, releasing dependents.
+
+Failure injection (an :class:`OutageSchedule`) interrupts staging/running
+tasks at a dark site; they are re-placed by the strategy with bounded
+retries, and link brownouts degrade live network capacity while planner
+estimates stay stale. Site *storage* survives compute outages (replicas
+remain fetchable).
+
+Estimates used by strategies come from the same cost model but ignore
+network contention — the planned-vs-measured gap is real and intended.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.continuum.topology import Topology
+from repro.core.context import SchedulingContext
+from repro.core.placement import PlacementDecision, ScheduleResult, TaskRecord
+from repro.core.strategies.base import PlacementStrategy
+from repro.datafabric.catalog import ReplicaCatalog
+from repro.datafabric.dataset import Dataset
+from repro.datafabric.transfer import TransferService
+from repro.errors import SchedulingError
+from repro.faults.outages import OutageSchedule, SiteOutage
+from repro.netsim.network import FlowNetwork
+from repro.simcore.process import AllOf, Interrupt, Timeout
+from repro.simcore.resources import Resource
+from repro.simcore.simulation import Simulator
+from repro.utils.rng import RngRegistry
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.task import TaskSpec
+
+
+@dataclass(frozen=True)
+class StreamJob:
+    """One workflow instance in an online stream."""
+
+    arrival_s: float
+    dag: WorkflowDAG
+    external_inputs: tuple = ()
+
+    def __post_init__(self):
+        if self.arrival_s < 0:
+            raise SchedulingError(
+                f"arrival_s must be >= 0, got {self.arrival_s}"
+            )
+
+
+@dataclass
+class JobResult:
+    """Per-job outcome within a stream run."""
+
+    name: str
+    arrival_s: float
+    finished_s: float
+    task_count: int
+
+    @property
+    def response_time(self) -> float:
+        return self.finished_s - self.arrival_s
+
+
+@dataclass
+class StreamResult:
+    """Outcome of an online stream of workflows."""
+
+    strategy: str
+    jobs: list[JobResult]
+    records: dict[str, TaskRecord]
+    bytes_moved: float
+    transfer_usd: float
+    compute_usd: float
+    energy_j: float
+    interruptions: int = 0
+    wasted_exec_s: float = 0.0
+
+    @property
+    def last_finish(self) -> float:
+        return max((j.finished_s for j in self.jobs), default=0.0)
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.jobs:
+            return float("nan")
+        return sum(j.response_time for j in self.jobs) / len(self.jobs)
+
+
+class ContinuumScheduler:
+    """Reusable runner: one topology, many executions."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        transfer_failure_prob: float = 0.0,
+        transfer_max_attempts: int = 3,
+        candidate_sites: list[str] | None = None,
+    ):
+        topology.validate()
+        self.topology = topology
+        self.seed = seed
+        self.transfer_failure_prob = transfer_failure_prob
+        self.transfer_max_attempts = transfer_max_attempts
+        self.candidate_sites = candidate_sites
+
+    # -- public API ----------------------------------------------------------------
+    def run(
+        self,
+        dag: WorkflowDAG,
+        strategy: PlacementStrategy,
+        *,
+        external_inputs: Iterable[tuple[Dataset, str]] = (),
+        failures: OutageSchedule | None = None,
+        task_retries: int = 2,
+        until: float | None = None,
+    ) -> ScheduleResult:
+        """Execute one ``dag`` under ``strategy``.
+
+        ``external_inputs`` provides (dataset, site) pairs for every
+        dataset the DAG consumes but does not produce. Raises
+        :class:`SchedulingError` on missing externals or failed tasks.
+        """
+        dag.validate()
+        job = StreamJob(0.0, dag, tuple(external_inputs))
+        run = _Run(self, [job], strategy,
+                   failures=failures, task_retries=task_retries)
+        run.execute(until=until)
+        return run.single_result()
+
+    def run_stream(
+        self,
+        jobs: Iterable[StreamJob],
+        strategy: PlacementStrategy,
+        *,
+        failures: OutageSchedule | None = None,
+        task_retries: int = 2,
+        until: float | None = None,
+    ) -> StreamResult:
+        """Execute an online stream of workflow instances.
+
+        Jobs become schedulable at their arrival times and share the
+        continuum (and its queues) — the setting where offered load,
+        not just placement quality, drives response times. Task names
+        and dataset names must be unique across all jobs (use per-job
+        name prefixes, as the workload builders do).
+        """
+        job_list = sorted(jobs, key=lambda j: j.arrival_s)
+        if not job_list:
+            raise SchedulingError("run_stream needs at least one job")
+        for job in job_list:
+            job.dag.validate()
+        run = _Run(self, job_list, strategy,
+                   failures=failures, task_retries=task_retries)
+        run.execute(until=until)
+        return run.stream_result()
+
+
+class _Run:
+    """Single-execution state (kept off the reusable scheduler)."""
+
+    def __init__(self, sched: ContinuumScheduler, jobs: list[StreamJob],
+                 strategy: PlacementStrategy,
+                 failures: OutageSchedule | None = None,
+                 task_retries: int = 2):
+        self.jobs = jobs
+        self.strategy = strategy
+        self.failures = failures
+        if task_retries < 0:
+            raise SchedulingError(f"task_retries must be >= 0, got {task_retries}")
+        self.task_retries = task_retries
+        self.sim = Simulator()
+        self.rngs = RngRegistry(sched.seed)
+        self.network = FlowNetwork(self.sim, sched.topology)
+        self.catalog = ReplicaCatalog()
+        self.transfers = TransferService(
+            self.sim, self.network, self.catalog,
+            failure_prob=sched.transfer_failure_prob,
+            max_attempts=sched.transfer_max_attempts,
+            rngs=self.rngs,
+        )
+        self.ctx = SchedulingContext(
+            sched.topology, self.catalog, rngs=self.rngs,
+            candidate_sites=sched.candidate_sites,
+        )
+        self.resources = {
+            site.name: Resource(self.sim, site.slots, name=site.name)
+            for site in self.ctx.candidates
+        }
+        # cross-job task bookkeeping (names must be globally unique)
+        self._dag_of: dict[str, WorkflowDAG] = {}
+        self._job_of: dict[str, int] = {}
+        self.remaining: dict[str, int] = {}
+        for idx, job in enumerate(jobs):
+            for name in job.dag.task_names:
+                if name in self._dag_of:
+                    raise SchedulingError(
+                        f"duplicate task name {name!r} across stream jobs"
+                    )
+                self._dag_of[name] = job.dag
+                self._job_of[name] = idx
+                self.remaining[name] = len(job.dag.dependencies(name))
+        self._job_pending = [len(job.dag) for job in jobs]
+        self._job_finish = [0.0 for _ in jobs]
+        self._register_datasets()
+
+        self.ready: list[TaskSpec] = []
+        self._dispatch_scheduled = False
+        self.records: dict[str, TaskRecord] = {}
+        self.decisions: list[PlacementDecision] = []
+        self.failed_tasks: dict[str, BaseException] = {}
+        self.compute_usd = 0.0
+        self.energy_j = 0.0
+        self.site_busy: dict[str, float] = {s.name: 0.0 for s in self.ctx.candidates}
+        self.attempts: dict[str, int] = {n: 0 for n in self._dag_of}
+        self._active_at: dict[str, tuple] = {}   # task -> (Process, site)
+        self.interruptions = 0
+        self.wasted_exec_s = 0.0
+        if failures is not None:
+            failures.validate_against(sched.topology)
+
+    def _register_datasets(self) -> None:
+        """Register every dataset definition up front; external replicas
+        appear at each job's arrival, outputs when produced."""
+        for job in self.jobs:
+            provided = set()
+            for dataset, site in job.external_inputs:
+                if site not in self.ctx.topology:
+                    raise SchedulingError(
+                        f"external input {dataset.name!r} placed at unknown "
+                        f"site {site!r}"
+                    )
+                self.catalog.register(dataset)
+                provided.add(dataset.name)
+            missing = job.dag.external_inputs() - provided
+            if missing:
+                raise SchedulingError(
+                    f"external inputs without a source site: {sorted(missing)}"
+                )
+            for task in job.dag.tasks:
+                for out in task.outputs:
+                    self.catalog.register(out)
+
+    # -- main loop --------------------------------------------------------------------
+    def execute(self, until: float | None = None) -> None:
+        self._arm_failures()
+        for idx, job in enumerate(self.jobs):
+            self.sim.schedule_at(job.arrival_s, self._job_arrives, idx)
+        self.sim.run(until=until)
+
+        if self.failed_tasks:
+            failed = ", ".join(sorted(self.failed_tasks))
+            raise SchedulingError(
+                f"tasks failed during run: {failed}"
+            ) from next(iter(self.failed_tasks.values()))
+        unfinished = [n for n in self._dag_of if n not in self.records]
+        if unfinished:
+            raise SchedulingError(
+                f"run ended with unfinished tasks: {sorted(unfinished)} "
+                f"(until-limit too small or deadlocked staging)"
+            )
+
+    def _job_arrives(self, idx: int) -> None:
+        job = self.jobs[idx]
+        for dataset, site in job.external_inputs:
+            self.catalog.add_replica(dataset.name, site, time=self.sim.now)
+        self.ctx.set_now(self.sim.now)
+        self.strategy.prepare(job.dag, self.ctx)
+        for name in job.dag.task_names:
+            if self.remaining[name] == 0:
+                self.ready.append(job.dag.task(name))
+        self._schedule_dispatch()
+
+    # -- results --------------------------------------------------------------------
+    def single_result(self) -> ScheduleResult:
+        job = self.jobs[0]
+        makespan = max(
+            (r.exec_finished for r in self.records.values()), default=0.0
+        )
+        return ScheduleResult(
+            workflow=job.dag.name,
+            strategy=self.strategy.name,
+            makespan=makespan,
+            records=self.records,
+            decisions=self.decisions,
+            bytes_moved=self.network.total_bytes_moved,
+            transfer_usd=self.network.total_transfer_cost_usd,
+            compute_usd=self.compute_usd,
+            energy_j=self.energy_j,
+            site_busy_s=self.site_busy,
+            interruptions=self.interruptions,
+            wasted_exec_s=self.wasted_exec_s,
+        )
+
+    def stream_result(self) -> StreamResult:
+        jobs = [
+            JobResult(
+                name=job.dag.name,
+                arrival_s=job.arrival_s,
+                finished_s=self._job_finish[idx],
+                task_count=len(job.dag),
+            )
+            for idx, job in enumerate(self.jobs)
+        ]
+        return StreamResult(
+            strategy=self.strategy.name,
+            jobs=jobs,
+            records=self.records,
+            bytes_moved=self.network.total_bytes_moved,
+            transfer_usd=self.network.total_transfer_cost_usd,
+            compute_usd=self.compute_usd,
+            energy_j=self.energy_j,
+            interruptions=self.interruptions,
+            wasted_exec_s=self.wasted_exec_s,
+        )
+
+    # -- failure injection ---------------------------------------------------------
+    def _arm_failures(self) -> None:
+        if self.failures is None or self.failures.empty:
+            return
+        for outage in self.failures.site_outages:
+            self.sim.schedule_at(outage.start_s, self._site_down, outage)
+            self.sim.schedule_at(outage.end_s, self._site_up, outage.site)
+        for brownout in self.failures.link_brownouts:
+            self.sim.schedule_at(brownout.start_s, self._brownout,
+                                 brownout, True)
+            self.sim.schedule_at(brownout.end_s, self._brownout,
+                                 brownout, False)
+
+    def _site_down(self, outage: SiteOutage) -> None:
+        if outage.site in self.ctx._slots:
+            self.ctx.mark_down(outage.site)
+        victims = [
+            (name, proc) for name, (proc, site) in self._active_at.items()
+            if site == outage.site
+        ]
+        for _name, proc in victims:
+            proc.interrupt(cause=f"outage@{outage.site}")
+
+    def _site_up(self, site: str) -> None:
+        self.ctx.mark_up(site)
+        if self.ready:
+            self._schedule_dispatch()
+
+    def _brownout(self, brownout, begin: bool) -> None:
+        current = self.network.link_bandwidth(brownout.a, brownout.b)
+        factor = brownout.factor if begin else 1.0 / brownout.factor
+        self.network.set_link_bandwidth(brownout.a, brownout.b,
+                                        current * factor)
+
+    # -- dispatch --------------------------------------------------------------------
+    def _schedule_dispatch(self) -> None:
+        if not self._dispatch_scheduled:
+            self._dispatch_scheduled = True
+            self.sim.schedule(0.0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if not self.ready:
+            return
+        self.ctx.set_now(self.sim.now)
+        if not self.ctx.candidates:
+            # every candidate site is dark: hold the ready set until a
+            # recovery event re-triggers dispatch
+            return
+        batch, self.ready = self.ready, []
+        for task in self.strategy.prioritize(batch, self.ctx):
+            if task.pinned_site and self.ctx.is_down(task.pinned_site):
+                # pinned to a dark site: hold until it recovers
+                self.ready.append(task)
+                continue
+            try:
+                site_name = task.pinned_site or self.strategy.select_site(
+                    task, self.ctx
+                )
+            except SchedulingError:
+                if self.failures is not None:
+                    # transiently unplaceable (e.g. the strategy's whole
+                    # tier is dark): hold until a recovery event
+                    self.ready.append(task)
+                    continue
+                raise
+            if site_name not in self.resources:
+                raise SchedulingError(
+                    f"strategy chose non-candidate site {site_name!r} "
+                    f"for task {task.name!r}"
+                )
+            est, est_finish = self.ctx.estimate_finish(
+                task, self.ctx.site(site_name)
+            )
+            self.ctx.reserve(site_name, est_finish)
+            self.decisions.append(
+                PlacementDecision(
+                    task=task.name, site=site_name, decided_at=self.sim.now,
+                    est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
+                    est_finish=est_finish,
+                )
+            )
+            proc = self.sim.process(
+                self._task_proc(task, site_name), name=f"task:{task.name}"
+            )
+            self._active_at[task.name] = (proc, site_name)
+
+    def _task_proc(self, task: TaskSpec, site_name: str):
+        site = self.ctx.site(site_name)
+        self.attempts[task.name] += 1
+        record = TaskRecord(
+            task=task.name, site=site_name, kind=task.kind,
+            ready_at=self.sim.now, deadline_s=task.deadline_s,
+            attempts=self.attempts[task.name],
+        )
+        req = None
+        exec_started = False
+        try:
+            record.stage_started = self.sim.now
+            if task.inputs:
+                results = yield AllOf(
+                    [self.transfers.stage(name, site_name) for name in task.inputs]
+                )
+                record.bytes_staged = sum(r.bytes_moved for r in results)
+            record.stage_finished = self.sim.now
+
+            req = self.resources[site_name].request()
+            yield req
+            record.exec_started = self.sim.now
+            exec_started = True
+            exec_time = site.service_time(task.work, kind=task.kind)
+            if exec_time > 0:
+                yield Timeout(exec_time)
+            self.resources[site_name].release(req)
+            req = None
+            record.exec_finished = self.sim.now
+        except Interrupt as intr:
+            self._on_interrupt(task, site_name, record, req, exec_started, intr)
+            return
+        except Exception as exc:  # noqa: BLE001 - recorded, re-raised at end
+            self._active_at.pop(task.name, None)
+            self.failed_tasks[task.name] = exc
+            return
+        self._active_at.pop(task.name, None)
+
+        record.energy_j = site.power.marginal_energy(record.exec_time)
+        record.compute_usd = site.pricing.compute_cost(record.exec_time)
+        self.energy_j += record.energy_j
+        self.compute_usd += record.compute_usd
+        self.site_busy[site_name] += record.exec_time
+        self.records[task.name] = record
+        for out in task.outputs:
+            self.catalog.add_replica(out.name, site_name, time=self.sim.now)
+        self.strategy.observe(record, self.ctx)
+
+        job_idx = self._job_of[task.name]
+        self._job_pending[job_idx] -= 1
+        if self._job_pending[job_idx] == 0:
+            self._job_finish[job_idx] = self.sim.now
+
+        dag = self._dag_of[task.name]
+        for dependent in dag.dependents(task.name):
+            self.remaining[dependent] -= 1
+            if self.remaining[dependent] == 0:
+                self.ready.append(dag.task(dependent))
+                self._schedule_dispatch()
+
+    def _on_interrupt(self, task: TaskSpec, site_name: str,
+                      record: TaskRecord, req, exec_started: bool,
+                      intr: Interrupt) -> None:
+        """An outage cut this attempt short: clean up and re-place."""
+        self._active_at.pop(task.name, None)
+        self.interruptions += 1
+        if req is not None:
+            self.resources[site_name].cancel(req)
+        if exec_started:
+            wasted = self.sim.now - record.exec_started
+            self.wasted_exec_s += wasted
+            self.site_busy[site_name] += wasted  # the slot really burned
+            site = self.ctx.site(site_name)
+            self.energy_j += site.power.marginal_energy(wasted)
+        if self.attempts[task.name] > self.task_retries:
+            self.failed_tasks[task.name] = SchedulingError(
+                f"task {task.name!r} interrupted {self.attempts[task.name]} "
+                f"times (cause: {intr.cause}); retries exhausted"
+            )
+            return
+        self.ready.append(task)
+        self._schedule_dispatch()

@@ -1,0 +1,42 @@
+"""SLO accounting over task records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.stats import percentile
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Deadline satisfaction summary for one run."""
+
+    total: int              # tasks carrying a deadline
+    met: int
+    p50_latency_s: float    # turnaround percentiles over deadline tasks
+    p95_latency_s: float
+    worst_slack_s: float    # most negative slack (deadline - finish)
+
+    @property
+    def satisfaction(self) -> float:
+        """Fraction of deadline-carrying tasks that met it (1.0 when
+        there were none — an empty SLO is trivially satisfied)."""
+        return self.met / self.total if self.total else 1.0
+
+
+def slo_report(records) -> SLOReport:
+    """Build an :class:`SLOReport` from an iterable of task records
+    (anything with ``deadline_s``, ``exec_finished``, ``turnaround``)."""
+    deadline_records = [r for r in records if r.deadline_s is not None]
+    if not deadline_records:
+        return SLOReport(0, 0, float("nan"), float("nan"), 0.0)
+    met = sum(1 for r in deadline_records if r.exec_finished <= r.deadline_s)
+    latencies = [r.turnaround for r in deadline_records]
+    slacks = [r.deadline_s - r.exec_finished for r in deadline_records]
+    return SLOReport(
+        total=len(deadline_records),
+        met=met,
+        p50_latency_s=percentile(latencies, 50),
+        p95_latency_s=percentile(latencies, 95),
+        worst_slack_s=min(slacks),
+    )

@@ -1,0 +1,74 @@
+"""Online adaptive placement: a UCB bandit over sites.
+
+The model-based planners trust the topology description; when reality
+drifts (bandwidth drops, a site slows down), their estimates go stale.
+This strategy instead *learns* per task-kind turnarounds from completion
+feedback and balances exploitation against exploration with a UCB1-style
+bonus. E8 shows it re-converging after a mid-run bandwidth shift that
+static planners never notice.
+
+A sliding window (``window``) bounds memory *and* makes the learner
+forget pre-shift observations — without it, a nonstationary environment
+would poison the means forever.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.errors import SchedulingError
+from repro.workflow.task import TaskSpec
+
+
+class AdaptiveUCBStrategy(PlacementStrategy):
+    """UCB1 over (task kind, site) arms, minimizing observed turnaround."""
+
+    name = "adaptive-ucb"
+
+    def __init__(self, exploration: float = 1.0, window: int = 50):
+        if exploration < 0:
+            raise SchedulingError(
+                f"exploration must be >= 0, got {exploration}"
+            )
+        if window < 1:
+            raise SchedulingError(f"window must be >= 1, got {window}")
+        self.exploration = exploration
+        self.window = window
+        self._obs: dict[tuple[str, str], deque] = defaultdict(
+            lambda: deque(maxlen=window)
+        )
+        self._pulls: dict[str, int] = defaultdict(int)  # per kind
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        kind = task.kind
+        total = self._pulls[kind]
+        # Unexplored arms first (declaration order keeps it deterministic).
+        for site in ctx.candidates:
+            if not self._obs[(kind, site.name)]:
+                return site.name
+        # UCB on negative turnaround: lower observed mean minus bonus wins.
+        best_name, best_score = None, None
+        for site in ctx.candidates:
+            samples = self._obs[(kind, site.name)]
+            mean = sum(samples) / len(samples)
+            bonus = self.exploration * math.sqrt(
+                2.0 * math.log(max(total, 2)) / len(samples)
+            )
+            score = mean - bonus * mean  # relative bonus, scale-free
+            if best_score is None or score < best_score:
+                best_name, best_score = site.name, score
+        return best_name
+
+    def observe(self, record, ctx: SchedulingContext) -> None:
+        """Feed a completed :class:`TaskRecord` back into the arms."""
+        kind = getattr(record, "kind", "generic")
+        self._obs[(kind, record.site)].append(record.turnaround)
+        self._pulls[kind] += 1
+
+    def mean_turnaround(self, kind: str, site: str) -> float | None:
+        """Introspection for tests/benchmarks."""
+        samples = self._obs[(kind, site)]
+        return sum(samples) / len(samples) if samples else None

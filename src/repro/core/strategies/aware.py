@@ -1,0 +1,66 @@
+"""Objective-specialized planners: latency (SLO), energy, dollars."""
+
+from __future__ import annotations
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.core.strategies.greedy import earliest_finish_site
+from repro.workflow.task import TaskSpec
+
+
+class LatencyAwareStrategy(PlacementStrategy):
+    """Deadline-first placement.
+
+    For tasks with a deadline: among sites whose *estimated* finish meets
+    it, pick the cheapest (dollars, then energy) — no point burning cloud
+    credits on slack you do not need. If no site is predicted to make the
+    deadline, fall back to plain earliest-finish (minimize the miss).
+    Tasks without deadlines get earliest-finish.
+    """
+
+    name = "latency-aware"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        if task.deadline_s is None:
+            return earliest_finish_site(task, ctx)
+        feasible = []  # (usd, energy, finish, name)
+        fallback = None  # (finish, name)
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            if fallback is None or finish < fallback[0]:
+                fallback = (finish, site.name)
+            if finish <= task.deadline_s:
+                feasible.append((est.total_usd, est.energy_j, finish, site.name))
+        if feasible:
+            return min(feasible)[3]
+        return fallback[1]
+
+
+class EnergyAwareStrategy(PlacementStrategy):
+    """Minimize marginal execution energy; ties by estimated finish."""
+
+    name = "energy-aware"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        best = None  # ((energy, finish), name)
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            key = (est.energy_j, finish)
+            if best is None or key < best[0]:
+                best = (key, site.name)
+        return best[1]
+
+
+class CostAwareStrategy(PlacementStrategy):
+    """Minimize dollars (compute + transfer); ties by estimated finish."""
+
+    name = "cost-aware"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        best = None  # ((usd, finish), name)
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            key = (est.total_usd, finish)
+            if best is None or key < best[0]:
+                best = (key, site.name)
+        return best[1]

@@ -1,0 +1,52 @@
+"""Classic batch heuristics: Min-Min and Max-Min.
+
+Both originate in grid scheduling (Maheswaran et al.): from the ready
+set, repeatedly commit the task whose best (earliest) completion time is
+globally smallest (Min-Min: short tasks first, keeps machines
+load-balanced on small work) or largest (Max-Min: big rocks first,
+avoids a long task stranding at the end).
+
+Within this scheduler's dispatch model the heuristics are expressed as a
+prioritization: the ready batch is ordered by each task's best estimated
+finish over all up sites — ascending for Min-Min, descending for
+Max-Min — and site selection is the shared earliest-finish rule, with
+slot reservations updated between placements exactly as the textbook
+algorithms iterate.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.core.strategies.greedy import earliest_finish_site
+from repro.workflow.task import TaskSpec
+
+
+def _best_finish(task: TaskSpec, ctx: SchedulingContext) -> float:
+    return min(
+        ctx.estimate_finish(task, site)[1] for site in ctx.candidates
+    )
+
+
+class MinMinStrategy(PlacementStrategy):
+    """Commit the quickest-to-finish ready task first."""
+
+    name = "min-min"
+
+    def prioritize(self, ready: list[TaskSpec], ctx: SchedulingContext) -> list[TaskSpec]:
+        return sorted(ready, key=lambda t: _best_finish(t, ctx))
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        return earliest_finish_site(task, ctx)
+
+
+class MaxMinStrategy(PlacementStrategy):
+    """Commit the slowest-to-finish ready task first (big rocks)."""
+
+    name = "max-min"
+
+    def prioritize(self, ready: list[TaskSpec], ctx: SchedulingContext) -> list[TaskSpec]:
+        return sorted(ready, key=lambda t: -_best_finish(t, ctx))
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        return earliest_finish_site(task, ctx)

@@ -1,0 +1,30 @@
+"""Data gravity: move the computation, not the bytes."""
+
+from __future__ import annotations
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.workflow.task import TaskSpec
+
+
+class DataGravityStrategy(PlacementStrategy):
+    """Pick the site that minimizes bytes pulled over the network; break
+    ties (typically: several sites already hold everything, or the task
+    has no inputs) by estimated finish time.
+
+    This is the right call when the data-to-compute ratio is high — the
+    beamline regime — and the wrong one when a big machine elsewhere
+    could amortize the haul, which is exactly the trade-off E2's
+    workload grid exposes.
+    """
+
+    name = "data-gravity"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        best = None  # (bytes, finish, name)
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            key = (est.bytes_moved, finish)
+            if best is None or key < best[0]:
+                best = (key, site.name)
+        return best[1]

@@ -1,0 +1,44 @@
+"""Fixed placements: the baselines every comparison needs."""
+
+from __future__ import annotations
+
+from repro.continuum.tiers import Tier
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.errors import SchedulingError
+from repro.workflow.task import TaskSpec
+
+
+class FixedSiteStrategy(PlacementStrategy):
+    """Everything runs at one named site (the degenerate continuum)."""
+
+    def __init__(self, site_name: str):
+        self.site_name = site_name
+        self.name = f"fixed:{site_name}"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        if all(s.name != self.site_name for s in ctx.candidates):
+            raise SchedulingError(
+                f"fixed site {self.site_name!r} is not a candidate"
+            )
+        return self.site_name
+
+
+class TierStrategy(PlacementStrategy):
+    """Everything runs in one tier — cloud-only, edge-only, hpc-only.
+
+    Within the tier the least-loaded site is chosen (ties: declaration
+    order), which is how a per-tier load balancer would behave.
+    """
+
+    def __init__(self, tier: Tier | str):
+        self.tier = Tier.parse(tier)
+        self.name = f"{self.tier.name.lower()}-only"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        sites = [s for s in ctx.candidates if s.tier == self.tier]
+        if not sites:
+            raise SchedulingError(
+                f"no candidate site in tier {self.tier.name}"
+            )
+        return min(sites, key=lambda s: ctx.load_of(s.name)).name

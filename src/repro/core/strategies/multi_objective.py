@@ -1,0 +1,81 @@
+"""Weighted multi-objective placement and Pareto analysis.
+
+For each ready task, every candidate site is scored on four axes —
+finish time, energy, dollars, bytes moved — min-max normalized across
+the candidates and combined with user weights. Sweeping the weights
+traces the policy family whose outcomes E7 plots as a Pareto front.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.errors import SchedulingError
+from repro.workflow.task import TaskSpec
+
+OBJECTIVES = ("time", "energy", "usd", "bytes")
+
+
+class MultiObjectiveStrategy(PlacementStrategy):
+    """Scalarized multi-objective site selection."""
+
+    def __init__(self, weights: Mapping[str, float] | None = None):
+        weights = dict(weights or {"time": 1.0})
+        unknown = set(weights) - set(OBJECTIVES)
+        if unknown:
+            raise SchedulingError(
+                f"unknown objectives {sorted(unknown)}; allowed: {OBJECTIVES}"
+            )
+        total = sum(weights.values())
+        if total <= 0:
+            raise SchedulingError("objective weights must sum to > 0")
+        self.weights = {k: v / total for k, v in weights.items() if v > 0}
+        label = ",".join(f"{k}={v:.2g}" for k, v in sorted(self.weights.items()))
+        self.name = f"multi({label})"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        rows = []
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            rows.append(
+                (site.name,
+                 {"time": finish, "energy": est.energy_j,
+                  "usd": est.total_usd, "bytes": est.bytes_moved})
+            )
+        # min-max normalize each axis across candidates
+        scores: dict[str, float] = {name: 0.0 for name, _ in rows}
+        for axis, weight in self.weights.items():
+            values = [metrics[axis] for _, metrics in rows]
+            lo, hi = min(values), max(values)
+            span = hi - lo
+            for (name, metrics) in rows:
+                norm = 0.0 if span == 0 else (metrics[axis] - lo) / span
+                scores[name] += weight * norm
+        # deterministic tie-break: candidate declaration order
+        order = {s.name: i for i, s in enumerate(ctx.candidates)}
+        return min(scores, key=lambda n: (scores[n], order[n]))
+
+
+def pareto_front(points: Sequence[Mapping[str, float]],
+                 axes: Sequence[str]) -> list[int]:
+    """Indices of non-dominated points (all axes minimized).
+
+    A point dominates another when it is <= on every axis and < on at
+    least one. Used by E7 to extract the front from a weight sweep.
+    """
+    if not axes:
+        raise SchedulingError("pareto_front needs at least one axis")
+    front: list[int] = []
+    for i, p in enumerate(points):
+        dominated = False
+        for j, q in enumerate(points):
+            if i == j:
+                continue
+            if all(q[a] <= p[a] for a in axes) and any(q[a] < p[a] for a in axes):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front

@@ -1,0 +1,31 @@
+"""Uninformed baselines: random and round-robin."""
+
+from __future__ import annotations
+
+from repro.core.context import SchedulingContext
+from repro.core.strategies.base import PlacementStrategy
+from repro.workflow.task import TaskSpec
+
+
+class RandomStrategy(PlacementStrategy):
+    """Uniform random site per task (seeded via the context registry)."""
+
+    name = "random"
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        rng = ctx.rngs.stream("strategy-random")
+        return ctx.candidates[int(rng.integers(len(ctx.candidates)))].name
+
+
+class RoundRobinStrategy(PlacementStrategy):
+    """Cycle through candidate sites in declaration order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
+        site = ctx.candidates[self._next % len(ctx.candidates)]
+        self._next += 1
+        return site.name

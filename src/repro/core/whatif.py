@@ -1,0 +1,79 @@
+"""What-if sensitivity analysis: re-run a workload under scaled worlds.
+
+The keynote's planning questions ("what if the network were 10x
+faster?", "what if we halved the latency?") become one call: sweep a
+scale factor through a topology factory, re-schedule the same workload,
+and report how the outcome metrics move. This is the programmatic
+version of what E1/E10 do for the single-task case — for *any* workload
+and strategy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.placement import ScheduleResult
+from repro.core.scheduler import ContinuumScheduler
+from repro.core.strategies.base import PlacementStrategy
+from repro.errors import SchedulingError
+
+
+def sensitivity_sweep(
+    topology_factory: Callable[..., object],
+    workload_factory: Callable[[], tuple],
+    strategy_factory: Callable[[], PlacementStrategy],
+    *,
+    parameter: str = "bandwidth_scale",
+    scales: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 10.0),
+    place_at: Callable[[object, list], list] | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Makespan/bytes/cost sensitivity to one infrastructure parameter.
+
+    Parameters
+    ----------
+    topology_factory:
+        Called as ``topology_factory(**{parameter: scale})`` — all the
+        builder presets accept ``bandwidth_scale`` and ``latency_scale``.
+    workload_factory:
+        Returns a fresh ``(dag, externals)`` pair per run.
+    strategy_factory:
+        Returns a fresh strategy per run (stateful strategies must not
+        leak learning across scales).
+    place_at:
+        Maps ``(topology, externals)`` to ``[(dataset, site), ...]``;
+        defaults to round-robin over peripheral sites.
+    Returns rows with the scale, makespan, bytes moved, cost, energy,
+    and the makespan relative to the ``scale == 1.0`` baseline (NaN when
+    1.0 is not in the sweep).
+    """
+    if not scales:
+        raise SchedulingError("sensitivity_sweep needs at least one scale")
+    if place_at is None:
+        from repro.bench.e02_strategies import place_externals
+
+        place_at = place_externals
+
+    rows: list[dict] = []
+    baseline: float | None = None
+    for scale in scales:
+        topo = topology_factory(**{parameter: float(scale)})
+        dag, externals = workload_factory()
+        result: ScheduleResult = ContinuumScheduler(topo, seed=seed).run(
+            dag, strategy_factory(),
+            external_inputs=place_at(topo, externals),
+        )
+        if scale == 1.0:
+            baseline = result.makespan
+        rows.append({
+            parameter: float(scale),
+            "makespan_s": result.makespan,
+            "bytes_moved": result.bytes_moved,
+            "cost_usd": result.total_usd,
+            "energy_j": result.energy_j,
+        })
+    for row in rows:
+        row["vs_baseline"] = (
+            row["makespan_s"] / baseline if baseline else float("nan")
+        )
+    return rows

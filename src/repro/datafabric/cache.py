@@ -1,0 +1,142 @@
+"""Byte-capacity caches with pluggable eviction policies.
+
+Used at edge/fog sites to keep hot datasets close to where work runs.
+E6 compares the policies on skewed streaming workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.datafabric.dataset import Dataset
+from repro.errors import DataFabricError
+from repro.utils.validation import check_positive
+
+
+class EvictionPolicy(Enum):
+    """Which resident dataset to evict when space is needed."""
+
+    LRU = "lru"        # least recently used
+    LFU = "lfu"        # least frequently used (ties: least recent)
+    FIFO = "fifo"      # oldest admission
+    LARGEST = "largest"  # biggest first (greedy space recovery)
+
+    @classmethod
+    def parse(cls, value) -> "EvictionPolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise DataFabricError(f"unknown eviction policy {value!r}") from None
+
+
+@dataclass
+class _Entry:
+    dataset: Dataset
+    admitted_seq: int
+    last_used_seq: int
+    uses: int
+
+
+class Cache:
+    """A single site's dataset cache.
+
+    ``lookup`` answers hit/miss (and refreshes recency); ``admit`` inserts
+    a dataset, evicting per policy until it fits. Datasets larger than the
+    whole cache are rejected by ``admit`` (returned as not-admitted) —
+    streaming them through without caching is the caller's job.
+    """
+
+    def __init__(self, capacity_bytes: float, policy: EvictionPolicy | str = "lru"):
+        self.capacity_bytes = check_positive("capacity_bytes", capacity_bytes)
+        self.policy = EvictionPolicy.parse(policy)
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._seq = 0
+        self.used_bytes = 0.0
+        # stats
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_evicted = 0.0
+
+    def _tick(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- queries -----------------------------------------------------------------
+    def lookup(self, name: str) -> bool:
+        """True on hit (refreshes recency/frequency); False on miss."""
+        entry = self._entries.get(name)
+        if entry is None:
+            self.misses += 1
+            return False
+        entry.last_used_seq = self._tick()
+        entry.uses += 1
+        self.hits += 1
+        return True
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    @property
+    def resident(self) -> list[str]:
+        return list(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- mutation ------------------------------------------------------------------
+    def admit(self, dataset: Dataset) -> bool:
+        """Insert ``dataset``, evicting as needed. Returns False (and
+        caches nothing) if the dataset alone exceeds capacity."""
+        if dataset.name in self._entries:
+            entry = self._entries[dataset.name]
+            entry.last_used_seq = self._tick()
+            entry.uses += 1
+            return True
+        if dataset.size_bytes > self.capacity_bytes:
+            return False
+        while self.used_bytes + dataset.size_bytes > self.capacity_bytes:
+            self._evict_one()
+        seq = self._tick()
+        self._entries[dataset.name] = _Entry(dataset, seq, seq, 1)
+        self.used_bytes += dataset.size_bytes
+        return True
+
+    def drop(self, name: str) -> None:
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            raise DataFabricError(f"dataset {name!r} not in cache")
+        self.used_bytes -= entry.dataset.size_bytes
+
+    def _evict_one(self) -> None:
+        if not self._entries:
+            raise DataFabricError("cache accounting error: nothing to evict")
+        if self.policy is EvictionPolicy.LRU:
+            victim = min(self._entries.values(), key=lambda e: e.last_used_seq)
+        elif self.policy is EvictionPolicy.LFU:
+            victim = min(
+                self._entries.values(), key=lambda e: (e.uses, e.last_used_seq)
+            )
+        elif self.policy is EvictionPolicy.FIFO:
+            victim = min(self._entries.values(), key=lambda e: e.admitted_seq)
+        else:  # LARGEST
+            victim = max(
+                self._entries.values(),
+                key=lambda e: (e.dataset.size_bytes, -e.last_used_seq),
+            )
+        del self._entries[victim.dataset.name]
+        self.used_bytes -= victim.dataset.size_bytes
+        self.evictions += 1
+        self.bytes_evicted += victim.dataset.size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cache {self.policy.value} {self.used_bytes:.3g}/"
+            f"{self.capacity_bytes:.3g}B items={len(self._entries)}>"
+        )

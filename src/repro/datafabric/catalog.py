@@ -1,0 +1,110 @@
+"""Replica catalog: which datasets live where."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.continuum.topology import Topology
+from repro.datafabric.dataset import Dataset, Replica
+from repro.errors import DataFabricError
+
+
+class ReplicaCatalog:
+    """Authoritative mapping dataset -> {site: Replica}.
+
+    The catalog is the source of truth for placement decisions: both the
+    transfer service (pick a source) and data-gravity scheduling (pick a
+    compute site near the bytes) query it.
+    """
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, Dataset] = {}
+        self._replicas: dict[str, dict[str, Replica]] = defaultdict(dict)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every replica change — lets cost
+        models cache nearest-source lookups safely."""
+        return self._version
+
+    # -- datasets ---------------------------------------------------------------
+    def register(self, dataset: Dataset) -> Dataset:
+        """Register a dataset definition (idempotent if identical)."""
+        existing = self._datasets.get(dataset.name)
+        if existing is not None and existing != dataset:
+            raise DataFabricError(
+                f"dataset {dataset.name!r} already registered with different "
+                f"definition"
+            )
+        self._datasets[dataset.name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise DataFabricError(f"unknown dataset {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return list(self._datasets)
+
+    # -- replicas -----------------------------------------------------------------
+    def add_replica(self, name: str, site: str, time: float = 0.0) -> Replica:
+        dataset = self.dataset(name)
+        replica = Replica(dataset, site, created_at=time)
+        self._replicas[name][site] = replica
+        self._version += 1
+        return replica
+
+    def drop_replica(self, name: str, site: str) -> None:
+        self.dataset(name)
+        if self._replicas[name].pop(site, None) is None:
+            raise DataFabricError(f"no replica of {name!r} at {site!r}")
+        self._version += 1
+
+    def locations(self, name: str) -> list[str]:
+        """Sites currently holding a replica (may be empty)."""
+        self.dataset(name)
+        return list(self._replicas[name])
+
+    def has_replica(self, name: str, site: str) -> bool:
+        return site in self._replicas.get(name, {})
+
+    def nearest_source(
+        self, topology: Topology, name: str, to_site: str
+    ) -> tuple[str, float]:
+        """Replica site with the lowest unloaded transfer time to
+        ``to_site``; returns ``(site, estimated_seconds)``.
+
+        Raises :class:`DataFabricError` when the dataset has no replica.
+        """
+        dataset = self.dataset(name)
+        sources = self.locations(name)
+        if not sources:
+            raise DataFabricError(f"dataset {name!r} has no replicas")
+        best_site, best_time = None, None
+        for src in sources:
+            est = topology.path_info(src, to_site).transfer_time(dataset.size_bytes)
+            if best_time is None or est < best_time:
+                best_site, best_time = src, est
+        return best_site, best_time
+
+    def bytes_at(self, site: str) -> float:
+        """Total dataset bytes replicated at ``site``."""
+        return sum(
+            reps[site].dataset.size_bytes
+            for reps in self._replicas.values()
+            if site in reps
+        )
+
+    def datasets_at(self, site: str) -> list[Dataset]:
+        return [
+            reps[site].dataset
+            for reps in self._replicas.values()
+            if site in reps
+        ]

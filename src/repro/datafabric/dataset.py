@@ -1,0 +1,36 @@
+"""Named datasets and their replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable named blob of known size.
+
+    Immutability matches the scientific-data model (Globus, light-source
+    frames): new results are new datasets, never in-place updates, which
+    is what makes replica caching sound.
+    """
+
+    name: str
+    size_bytes: float
+    kind: str = "data"
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self):
+        check_non_negative("size_bytes", self.size_bytes)
+        if not self.name:
+            raise ValueError("dataset name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Replica:
+    """A copy of a dataset at a site, stamped with creation time."""
+
+    dataset: Dataset
+    site: str
+    created_at: float = 0.0

@@ -1,0 +1,109 @@
+"""Proactive replication: push hot data toward its consumers.
+
+Caching (pull, per-site) reacts to each miss; a *replication service*
+acts on access patterns: once a dataset proves hot, copies are pushed to
+designated placement sites in the background, so future reads anywhere
+near those sites start from a closer source. This is the Globus-style
+"share to collection" / CDN-origin behaviour of the data fabric.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.datafabric.transfer import TransferService
+from repro.errors import DataFabricError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """When and where to replicate.
+
+    ``hot_after`` accesses of a dataset trigger replication to every
+    site in ``targets`` that lacks a replica. ``max_inflight`` bounds
+    concurrent background pushes so replication cannot starve foreground
+    traffic of scheduling slots (bandwidth is still shared fairly).
+    """
+
+    targets: tuple[str, ...]
+    hot_after: int = 3
+    max_inflight: int = 4
+    weight: float = 0.2   # background flows yield to foreground traffic
+
+    def __post_init__(self):
+        if not self.targets:
+            raise DataFabricError("replication policy needs >= 1 target site")
+        check_positive("hot_after", self.hot_after)
+        check_positive("max_inflight", self.max_inflight)
+        check_positive("weight", self.weight)
+
+
+class ReplicationService:
+    """Access-count-driven background replication."""
+
+    def __init__(self, transfers: TransferService, policy: ReplicationPolicy):
+        self.transfers = transfers
+        self.policy = policy
+        for target in policy.targets:
+            if target not in transfers.topology:
+                raise DataFabricError(f"unknown replication target {target!r}")
+        self.sim = transfers.sim
+        self._access_counts: dict[str, int] = defaultdict(int)
+        self._queued: list[tuple[str, str]] = []   # (dataset, target)
+        self._scheduled: set[tuple[str, str]] = set()
+        self._inflight = 0
+        # stats
+        self.replications_started = 0
+        self.replications_done = 0
+        self.bytes_replicated = 0.0
+
+    def record_access(self, dataset_name: str, site: str) -> None:
+        """Note one read of ``dataset_name`` (any site); may trigger
+        background pushes once the dataset crosses the hot threshold."""
+        self.transfers.catalog.dataset(dataset_name)
+        self._access_counts[dataset_name] += 1
+        if self._access_counts[dataset_name] < self.policy.hot_after:
+            return
+        for target in self.policy.targets:
+            key = (dataset_name, target)
+            if key in self._scheduled:
+                continue
+            if self.transfers.catalog.has_replica(dataset_name, target):
+                self._scheduled.add(key)  # already there: never reconsider
+                continue
+            self._scheduled.add(key)
+            self._queued.append(key)
+        self._pump()
+
+    def access_count(self, dataset_name: str) -> int:
+        return self._access_counts[dataset_name]
+
+    @property
+    def pending(self) -> int:
+        return len(self._queued) + self._inflight
+
+    def _pump(self) -> None:
+        while self._queued and self._inflight < self.policy.max_inflight:
+            dataset_name, target = self._queued.pop(0)
+            self._inflight += 1
+            self.replications_started += 1
+            self.sim.process(
+                self._replicate(dataset_name, target),
+                name=f"replicate:{dataset_name}->{target}",
+            )
+
+    def _replicate(self, dataset_name: str, target: str):
+        try:
+            result = yield self.transfers.stage(dataset_name, target,
+                                                weight=self.policy.weight)
+        except DataFabricError:
+            # push failed (integrity retries exhausted): allow a future
+            # access to try again
+            self._scheduled.discard((dataset_name, target))
+        else:
+            self.replications_done += 1
+            self.bytes_replicated += result.bytes_moved
+        self._inflight -= 1
+        self._pump()

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` (continuum) library.
+
+Every error raised by library code derives from :class:`ContinuumError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ContinuumError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ContinuumError):
+    """Raised for misuse of the discrete-event kernel (e.g. scheduling in
+    the past, running a finished simulation)."""
+
+
+class TopologyError(ContinuumError):
+    """Raised for malformed infrastructure descriptions: unknown sites,
+    duplicate names, disconnected routes, non-positive capacities."""
+
+
+class NetworkError(ContinuumError):
+    """Raised by the flow-level network simulator (unknown endpoints,
+    transfers on routes with no bandwidth, duplicate flow ids)."""
+
+
+class DataFabricError(ContinuumError):
+    """Raised by the data substrate (missing datasets, integrity failures
+    after exhausting retries, cache misconfiguration)."""
+
+
+class FaaSError(ContinuumError):
+    """Raised by the federated function-serving substrate (unregistered
+    functions, endpoints with no capacity, bad batch configuration)."""
+
+
+class WorkflowError(ContinuumError):
+    """Raised by the dataflow engine (cyclic DAGs, unknown dependencies,
+    double submission, executor misuse)."""
+
+
+class TaskFailedError(WorkflowError):
+    """A task exhausted its retries; carries the original exception."""
+
+    def __init__(self, task_name: str, cause: BaseException | None = None):
+        self.task_name = task_name
+        self.cause = cause
+        msg = f"task {task_name!r} failed"
+        if cause is not None:
+            msg += f": {cause!r}"
+        super().__init__(msg)
+
+
+class SchedulingError(ContinuumError):
+    """Raised by placement strategies and the continuum scheduler
+    (infeasible placements, unknown strategies, empty site sets)."""
+
+
+class ConfigurationError(ContinuumError):
+    """Raised when user-supplied configuration values are invalid."""

@@ -1,0 +1,57 @@
+"""Endpoint-selection policies for the FaaS fabric.
+
+The fabric routes to an explicit endpoint; these helpers choose one.
+All estimates are unloaded (no queue knowledge crosses the wire in real
+federations either); the ``least-loaded`` policy adds the one signal an
+endpoint does export — its queue length.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaaSError
+from repro.faas.fabric import FaaSFabric
+from repro.netsim.latency import rtt
+
+POLICIES = ("fastest", "nearest", "least-loaded")
+
+
+def estimate_total_latency(fabric: FaaSFabric, function: str,
+                           client_site: str, endpoint_site: str) -> float:
+    """Unloaded end-to-end estimate: network RTT + endpoint service."""
+    endpoint = fabric.endpoint_at(endpoint_site)
+    return (rtt(fabric.topology, client_site, endpoint_site)
+            + endpoint.estimate_service_time(function))
+
+
+def pick_endpoint(fabric: FaaSFabric, function: str, client_site: str,
+                  policy: str = "fastest") -> str:
+    """Choose an endpoint site for one invocation.
+
+    - ``fastest`` — minimal estimated RTT + service time,
+    - ``nearest`` — minimal network RTT only (latency-dominated work),
+    - ``least-loaded`` — shortest worker queue, ties by ``fastest``.
+    """
+    sites = fabric.endpoint_sites
+    if not sites:
+        raise FaaSError("fabric has no endpoints deployed")
+    if policy not in POLICIES:
+        raise FaaSError(f"unknown routing policy {policy!r}; "
+                        f"known: {POLICIES}")
+    fabric.registry.get(function)
+
+    if policy == "nearest":
+        return min(sites,
+                   key=lambda s: rtt(fabric.topology, client_site, s))
+    if policy == "least-loaded":
+        return min(
+            sites,
+            key=lambda s: (
+                fabric.endpoint_at(s).queue_length,
+                estimate_total_latency(fabric, function, client_site, s),
+            ),
+        )
+    return min(
+        sites,
+        key=lambda s: estimate_total_latency(fabric, function,
+                                             client_site, s),
+    )

@@ -1,0 +1,33 @@
+"""Payload serialization cost model.
+
+funcX ships arguments and results through a serializing proxy; for small
+payloads the fixed overhead dominates, for large ones throughput does.
+A two-parameter affine model captures both regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """``time = base_s + size / bytes_per_second`` per direction."""
+
+    base_s: float = 0.0005
+    bytes_per_second: float = 500e6
+
+    def __post_init__(self):
+        check_non_negative("base_s", self.base_s)
+        check_positive("bytes_per_second", self.bytes_per_second)
+
+    def time_for(self, size_bytes: float) -> float:
+        check_non_negative("size_bytes", size_bytes)
+        return self.base_s + size_bytes / self.bytes_per_second
+
+    def round_trip(self, request_bytes: float, response_bytes: float) -> float:
+        """Serialize request + deserialize response (the endpoint side
+        mirrors this; callers apply it per leg as appropriate)."""
+        return self.time_for(request_bytes) + self.time_for(response_bytes)

@@ -1,0 +1,27 @@
+"""Failure injection: the continuum misbehaving on schedule.
+
+Real continuum deployments lose edge boxes to power cycles, clouds to
+zone incidents, and WAN links to congestion brownouts. This package
+models those as *scheduled* events so experiments stay reproducible:
+
+- :class:`SiteOutage` / :class:`OutageSchedule` — sites going dark for
+  intervals; the continuum scheduler interrupts and re-places affected
+  tasks (see ``ContinuumScheduler(failures=...)``),
+- :class:`LinkBrownout` — a link's bandwidth degrading for an interval,
+  applied live to the flow network,
+- generators — Poisson outage processes over a topology's sites.
+"""
+
+from repro.faults.outages import (
+    LinkBrownout,
+    OutageSchedule,
+    SiteOutage,
+    poisson_outages,
+)
+
+__all__ = [
+    "SiteOutage",
+    "LinkBrownout",
+    "OutageSchedule",
+    "poisson_outages",
+]

@@ -1,0 +1,172 @@
+"""Bandwidth-sharing allocators.
+
+:func:`max_min_fair_rates` implements progressive filling: repeatedly find
+the most-contended link, give every flow through it an equal share of the
+remaining capacity, freeze those flows, and continue. The result is the
+unique max-min fair allocation — every flow is limited by at least one
+saturated link on which it receives a maximal share.
+
+:func:`equal_share_rates` is the naive alternative (each flow gets the
+minimum of its links' equal splits, computed once). It can strand
+capacity; it exists as the ablation baseline called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+
+def _incidence(
+    n_links: int, flow_links: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Build the link x flow 0/1 incidence matrix, validating indices."""
+    n_flows = len(flow_links)
+    A = np.zeros((n_links, n_flows))
+    for f, links in enumerate(flow_links):
+        for l in links:
+            if not 0 <= l < n_links:
+                raise NetworkError(f"flow {f} references unknown link {l}")
+            A[l, f] = 1.0
+    return A
+
+
+def max_min_fair_rates(
+    capacities: Sequence[float], flow_links: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Max-min fair rates for flows over capacitated links.
+
+    Parameters
+    ----------
+    capacities:
+        Per-link capacity (bytes/s), all positive.
+    flow_links:
+        For each flow, the indices of the links it traverses. A flow
+        with no links (a local copy) gets infinite rate.
+
+    Returns
+    -------
+    numpy array of per-flow rates. The allocation satisfies the max-min
+    property: each flow traverses at least one saturated link on which
+    no other flow has a strictly larger rate.
+    """
+    cap = np.asarray(capacities, dtype=float)
+    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
+        raise NetworkError("all link capacities must be positive and finite")
+    n_flows = len(flow_links)
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates
+
+    A = _incidence(len(cap), flow_links)
+    active = np.ones(n_flows, dtype=bool)
+
+    # Local flows (no links) are unconstrained.
+    local = A.sum(axis=0) == 0
+    rates[local] = math.inf
+    active &= ~local
+
+    remaining = cap.copy()
+    while active.any():
+        counts = A @ active
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(counts > 0, remaining / counts, math.inf)
+        l_star = int(np.argmin(share))
+        level = share[l_star]
+        newly = active & (A[l_star] > 0)
+        rates[newly] = level
+        remaining -= (A[:, newly].sum(axis=1)) * level
+        remaining = np.maximum(remaining, 0.0)
+        active &= ~newly
+    return rates
+
+
+def weighted_max_min_rates(
+    capacities: Sequence[float],
+    flow_links: Sequence[Sequence[int]],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """Weighted max-min fairness: flows receive bandwidth proportional
+    to their weights at each bottleneck (water-filling on normalized
+    rates). ``weights=ones`` reduces exactly to plain max-min.
+
+    The classic use: mark background traffic (replication, prefetch)
+    with weight < 1 so it yields to foreground transfers while still
+    soaking up otherwise-idle capacity.
+    """
+    cap = np.asarray(capacities, dtype=float)
+    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
+        raise NetworkError("all link capacities must be positive and finite")
+    w = np.asarray(weights, dtype=float)
+    if len(w) != len(flow_links):
+        raise NetworkError(
+            f"{len(w)} weights for {len(flow_links)} flows"
+        )
+    if np.any(w <= 0) or not np.all(np.isfinite(w)):
+        raise NetworkError("all flow weights must be positive and finite")
+    n_flows = len(flow_links)
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates
+
+    A = _incidence(len(cap), flow_links)
+    active = np.ones(n_flows, dtype=bool)
+    local = A.sum(axis=0) == 0
+    rates[local] = math.inf
+    active &= ~local
+
+    remaining = cap.copy()
+    while active.any():
+        # per-link sum of active weights; the bottleneck is the link
+        # with the smallest capacity per unit weight
+        weight_load = A @ (active * w)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            level = np.where(weight_load > 0, remaining / weight_load, math.inf)
+        l_star = int(np.argmin(level))
+        fair_level = level[l_star]
+        newly = active & (A[l_star] > 0)
+        rates[newly] = fair_level * w[newly]
+        remaining -= A[:, newly] @ rates[newly]
+        remaining = np.maximum(remaining, 0.0)
+        active &= ~newly
+    return rates
+
+
+def equal_share_rates(
+    capacities: Sequence[float], flow_links: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Single-pass equal-split baseline (ablation).
+
+    Each flow's rate is ``min over its links of capacity/flows-on-link``.
+    Feasible but generally not Pareto-optimal: once a flow is limited by
+    a remote bottleneck, its unused share elsewhere is wasted.
+    """
+    cap = np.asarray(capacities, dtype=float)
+    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
+        raise NetworkError("all link capacities must be positive and finite")
+    n_flows = len(flow_links)
+    rates = np.full(n_flows, math.inf)
+    if n_flows == 0:
+        return rates
+    A = _incidence(len(cap), flow_links)
+    counts = A.sum(axis=1)
+    for f, links in enumerate(flow_links):
+        for l in links:
+            rates[f] = min(rates[f], cap[l] / counts[l])
+    return rates
+
+
+def link_loads(
+    n_links: int,
+    flow_links: Sequence[Sequence[int]],
+    rates: Sequence[float],
+) -> np.ndarray:
+    """Aggregate per-link load implied by an allocation (for invariant
+    checks: ``link_loads(...) <= capacities`` within tolerance)."""
+    A = _incidence(n_links, flow_links)
+    finite = np.where(np.isfinite(rates), rates, 0.0)
+    return A @ np.asarray(finite, dtype=float)

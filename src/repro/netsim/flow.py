@@ -1,0 +1,54 @@
+"""Per-transfer bookkeeping record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.continuum.topology import PathInfo
+
+
+@dataclass
+class Flow:
+    """One in-flight (or completed) transfer.
+
+    The network updates ``remaining_bytes``/``rate_Bps`` on every
+    reallocation; ``finish_time`` is set when the last byte arrives
+    (transmission done + propagation latency).
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    path: PathInfo
+    start_time: float
+    weight: float = 1.0
+    remaining_bytes: float = field(init=False)
+    rate_Bps: float = 0.0
+    finish_time: float | None = None
+
+    def __post_init__(self):
+        self.remaining_bytes = float(self.size_bytes)
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def duration(self) -> float | None:
+        """Completion time minus start, or None while in flight."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def achieved_throughput(self) -> float | None:
+        """Average bytes/s over the whole transfer (incl. latency)."""
+        dur = self.duration
+        if dur is None or dur <= 0:
+            return None
+        return self.size_bytes / dur
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else f"{self.remaining_bytes:.3g}B left"
+        return f"<Flow {self.flow_id} {self.src}->{self.dst} {state}>"

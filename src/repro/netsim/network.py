@@ -1,0 +1,224 @@
+"""Event-driven flow network bound to a topology.
+
+:class:`FlowNetwork` turns ``transfer(src, dst, size)`` calls into fluid
+flows. Whenever the flow set changes, per-flow rates are re-solved with
+the configured allocator and each in-flight flow's completion event is
+rescheduled. A flow completes its *transmission* when its byte count
+drains; the receiver's completion signal fires one path-latency later
+(store-and-forward pipeline tail).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.continuum.topology import Topology
+from repro.errors import NetworkError
+from repro.netsim.fairness import max_min_fair_rates, weighted_max_min_rates
+from repro.netsim.flow import Flow
+from repro.simcore.monitor import Monitor
+from repro.simcore.process import Signal
+from repro.simcore.simulation import Simulator
+
+# Bytes below this are considered fully drained (float-accumulation guard).
+_EPSILON_BYTES = 1e-6
+
+
+class FlowNetwork:
+    """Shared-bandwidth transfer service over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        allocator: Callable = max_min_fair_rates,
+        monitor: Monitor | None = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.allocator = allocator
+        self.monitor = monitor if monitor is not None else Monitor(sim)
+        self._link_index: dict[frozenset, int] = {}
+        self._capacities: list[float] = []
+        for a, b, link in topology.links():
+            self._link_index[frozenset((a, b))] = len(self._capacities)
+            self._capacities.append(link.bandwidth_Bps)
+        self._capacity_arr = np.asarray(self._capacities, dtype=float)
+        self._active: dict[int, Flow] = {}
+        self._flow_paths: dict[int, list[int]] = {}
+        self._events: dict[int, object] = {}   # flow_id -> scheduled event
+        self._signals: dict[int, Signal] = {}
+        self._last_update = sim.now
+        self._next_id = 0
+        # aggregate accounting
+        self.completed: list[Flow] = []
+        self.total_bytes_moved = 0.0
+        self.total_transfer_cost_usd = 0.0
+        self.bytes_per_link = np.zeros(len(self._capacities))
+
+    # -- public API -------------------------------------------------------------
+    def transfer(self, src: str, dst: str, size_bytes: float,
+                 *, weight: float = 1.0) -> Signal:
+        """Start moving ``size_bytes`` from ``src`` to ``dst``.
+
+        Returns a :class:`Signal` that fires with the :class:`Flow`
+        record when the last byte arrives. Local transfers (same site)
+        complete at the current instant. ``weight`` sets this flow's
+        share under weighted fairness (background traffic uses < 1).
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"negative transfer size {size_bytes}")
+        if weight <= 0:
+            raise NetworkError(f"flow weight must be positive, got {weight}")
+        path = self.topology.path_info(src, dst)
+        flow = Flow(self._next_id, src, dst, float(size_bytes), path,
+                    self.sim.now, weight=float(weight))
+        self._next_id += 1
+        signal = self.sim.signal()
+        self._signals[flow.flow_id] = signal
+
+        if path.hop_count == 0 or size_bytes == 0:
+            # Local or empty: latency only (zero for local).
+            delay = path.latency_s if size_bytes > 0 else path.latency_s
+            self.sim.schedule(delay, self._complete, flow)
+            return signal
+
+        link_ids = [
+            self._link_index[frozenset((a, b))]
+            for a, b in zip(path.hops, path.hops[1:])
+        ]
+        self._drain_to_now()
+        self._active[flow.flow_id] = flow
+        self._flow_paths[flow.flow_id] = link_ids
+        self.monitor.count("flows_started")
+        self._reallocate()
+        return signal
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._active)
+
+    def set_link_bandwidth(self, a: str, b: str, bandwidth_Bps: float) -> None:
+        """Change a link's live capacity (brownouts, upgrades).
+
+        In-flight flows are re-allocated immediately. Note this changes
+        only the *network's* reality — planner estimates read the static
+        topology and will be stale, which is exactly how real systems
+        mis-plan during congestion events.
+        """
+        if bandwidth_Bps <= 0:
+            raise NetworkError(
+                f"bandwidth must be positive, got {bandwidth_Bps}"
+            )
+        try:
+            idx = self._link_index[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link {a!r}--{b!r}") from None
+        self._drain_to_now()
+        self._capacities[idx] = float(bandwidth_Bps)
+        self._capacity_arr[idx] = float(bandwidth_Bps)
+        self._reallocate()
+
+    def link_bandwidth(self, a: str, b: str) -> float:
+        """Current live capacity of link ``a--b``."""
+        try:
+            idx = self._link_index[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link {a!r}--{b!r}") from None
+        return self._capacities[idx]
+
+    def utilization_of(self, a: str, b: str) -> float:
+        """Current load fraction on link ``a--b`` (0 when idle)."""
+        try:
+            idx = self._link_index[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link {a!r}--{b!r}") from None
+        load = sum(
+            f.rate_Bps
+            for fid, f in self._active.items()
+            if idx in self._flow_paths[fid]
+        )
+        return load / self._capacities[idx]
+
+    # -- internals ------------------------------------------------------------------
+    def _drain_to_now(self) -> None:
+        """Advance remaining-byte counters to the current instant."""
+        elapsed = self.sim.now - self._last_update
+        if elapsed > 0:
+            for fid, flow in self._active.items():
+                moved = flow.rate_Bps * elapsed
+                flow.remaining_bytes = max(flow.remaining_bytes - moved, 0.0)
+                for idx in self._flow_paths[fid]:
+                    self.bytes_per_link[idx] += moved
+        self._last_update = self.sim.now
+
+    def _reallocate(self) -> None:
+        """Re-solve rates and reschedule every active flow's drain event."""
+        if not self._active:
+            return
+        fids = list(self._active)
+        flow_links = [self._flow_paths[fid] for fid in fids]
+        weights = [self._active[fid].weight for fid in fids]
+        if self.allocator is max_min_fair_rates and any(
+            w != 1.0 for w in weights
+        ):
+            rates = weighted_max_min_rates(self._capacity_arr, flow_links,
+                                           weights)
+        else:
+            rates = self.allocator(self._capacity_arr, flow_links)
+        for fid, rate in zip(fids, rates):
+            flow = self._active[fid]
+            rate = float(rate)
+            unchanged = (
+                flow.rate_Bps > 0
+                and abs(rate - flow.rate_Bps) <= 1e-12 * flow.rate_Bps
+                and fid in self._events
+            )
+            flow.rate_Bps = rate
+            if unchanged:
+                continue  # same rate: the scheduled drain is still correct
+            old_event = self._events.pop(fid, None)
+            if old_event is not None:
+                self.sim.cancel(old_event)
+            if flow.remaining_bytes <= _EPSILON_BYTES:
+                drain_in = 0.0
+            elif rate <= 0 or not math.isfinite(rate):
+                continue  # starved; will be rescheduled at next change
+            else:
+                drain_in = flow.remaining_bytes / rate
+            self._events[fid] = self.sim.schedule(drain_in, self._on_drained, fid)
+
+    def _on_drained(self, fid: int) -> None:
+        """Transmission finished: remove from sharing, fire after latency."""
+        self._drain_to_now()
+        flow = self._active.pop(fid, None)
+        if flow is None:
+            return
+        self._events.pop(fid, None)
+        self._flow_paths.pop(fid)
+        flow.remaining_bytes = 0.0
+        self.sim.schedule(flow.path.latency_s, self._complete, flow)
+        self._reallocate()
+
+    def _complete(self, flow: Flow) -> None:
+        flow.finish_time = self.sim.now
+        flow.rate_Bps = 0.0
+        self.completed.append(flow)
+        self.total_bytes_moved += flow.size_bytes
+        cost = flow.path.transfer_cost(flow.size_bytes)
+        self.total_transfer_cost_usd += cost
+        self.monitor.count("flows_completed")
+        self.monitor.count("bytes_moved", flow.size_bytes)
+        self.monitor.log(
+            "transfer_done",
+            f"flow{flow.flow_id}",
+            src=flow.src,
+            dst=flow.dst,
+            bytes=flow.size_bytes,
+            duration=flow.duration,
+        )
+        signal = self._signals.pop(flow.flow_id)
+        signal.trigger(flow)

@@ -1,0 +1,19 @@
+"""Human-readable reporting: DAG exports and schedule timelines.
+
+- :func:`dag_to_dot` / :func:`dag_to_mermaid` — graph exports for
+  Graphviz and Markdown renderers,
+- :func:`ascii_gantt` — per-site timeline of a schedule result,
+- :func:`utilization_table` — how busy each site was,
+- :func:`placement_summary` — tasks-per-site breakdown.
+"""
+
+from repro.report.dagviz import dag_to_dot, dag_to_mermaid
+from repro.report.timeline import ascii_gantt, placement_summary, utilization_table
+
+__all__ = [
+    "dag_to_dot",
+    "dag_to_mermaid",
+    "ascii_gantt",
+    "utilization_table",
+    "placement_summary",
+]

@@ -1,0 +1,72 @@
+"""Workflow DAG exports (Graphviz DOT, Mermaid)."""
+
+from __future__ import annotations
+
+from repro.workflow.dag import WorkflowDAG
+
+
+def _sanitize(name: str) -> str:
+    """Identifier-safe node id for both DOT and Mermaid."""
+    return "".join(c if c.isalnum() else "_" for c in name)
+
+
+def dag_to_dot(dag: WorkflowDAG, *, include_datasets: bool = False) -> str:
+    """Graphviz DOT text for a workflow.
+
+    With ``include_datasets`` the dataflow is shown explicitly: task
+    boxes connect through ellipse dataset nodes; otherwise edges go
+    task-to-task.
+    """
+    dag.validate()
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=LR;",
+             "  node [shape=box];"]
+    for task in dag.tasks:
+        node = _sanitize(task.name)
+        label = f"{task.name}\\nwork={task.work:g}"
+        if task.kind != "generic":
+            label += f"\\nkind={task.kind}"
+        lines.append(f'  {node} [label="{label}"];')
+    if include_datasets:
+        seen = set()
+        for task in dag.tasks:
+            for out in task.outputs:
+                ds = _sanitize("ds_" + out.name)
+                if ds not in seen:
+                    seen.add(ds)
+                    lines.append(
+                        f'  {ds} [shape=ellipse,label="{out.name}\\n'
+                        f'{out.size_bytes:g}B"];'
+                    )
+                lines.append(f"  {_sanitize(task.name)} -> {ds};")
+            for inp in task.inputs:
+                ds = _sanitize("ds_" + inp)
+                if ds not in seen:
+                    seen.add(ds)
+                    lines.append(f'  {ds} [shape=ellipse,label="{inp}"];')
+                lines.append(f"  {ds} -> {_sanitize(task.name)};")
+        # control-only edges still need drawing
+        for task in dag.tasks:
+            for dep in task.after:
+                lines.append(
+                    f"  {_sanitize(dep)} -> {_sanitize(task.name)} "
+                    f"[style=dashed];"
+                )
+    else:
+        for name in dag.task_names:
+            for succ in dag.dependents(name):
+                lines.append(f"  {_sanitize(name)} -> {_sanitize(succ)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dag_to_mermaid(dag: WorkflowDAG) -> str:
+    """Mermaid ``graph LR`` text (renders in GitHub/GitLab Markdown)."""
+    dag.validate()
+    lines = ["graph LR"]
+    for task in dag.tasks:
+        node = _sanitize(task.name)
+        lines.append(f'  {node}["{task.name} ({task.work:g})"]')
+    for name in dag.task_names:
+        for succ in dag.dependents(name):
+            lines.append(f"  {_sanitize(name)} --> {_sanitize(succ)}")
+    return "\n".join(lines)

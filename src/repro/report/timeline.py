@@ -1,0 +1,77 @@
+"""Schedule-result timelines: ASCII Gantt and utilization tables."""
+
+from __future__ import annotations
+
+from repro.core.placement import ScheduleResult
+from repro.utils.tables import ascii_table
+from repro.utils.units import format_time
+
+
+def ascii_gantt(result: ScheduleResult, *, width: int = 72) -> str:
+    """Per-site execution timeline.
+
+    Each site gets one lane; task executions render as labelled bars on
+    a shared time axis scaled to ``width`` characters. Staging time is
+    drawn with dots before the execution bar.
+    """
+    if not result.records:
+        return "(empty schedule)"
+    horizon = max(r.exec_finished for r in result.records.values())
+    if horizon <= 0:
+        horizon = 1.0
+    scale = width / horizon
+    by_site: dict[str, list] = {}
+    for record in result.records.values():
+        by_site.setdefault(record.site, []).append(record)
+
+    lines = [f"Gantt: {result.workflow} via {result.strategy} "
+             f"(makespan {format_time(result.makespan)})"]
+    label_width = max(len(site) for site in by_site)
+    for site in sorted(by_site):
+        records = sorted(by_site[site], key=lambda r: r.exec_started)
+        lane = [" "] * width
+        for record in records:
+            stage_start = int(record.stage_started * scale)
+            start = int(record.exec_started * scale)
+            end = max(int(record.exec_finished * scale), start + 1)
+            for i in range(stage_start, min(start, width)):
+                if lane[i] == " ":
+                    lane[i] = "."
+            name = record.task
+            for offset, i in enumerate(range(start, min(end, width))):
+                lane[i] = name[offset] if offset < len(name) else "="
+        lines.append(f"{site.rjust(label_width)} |{''.join(lane)}|")
+    axis = f"{'0'.rjust(label_width)} +{'-' * (width - 1)}+"
+    lines.append(axis)
+    lines.append(
+        f"{' ' * label_width}  0{format_time(horizon).rjust(width - 1)}"
+    )
+    return "\n".join(lines)
+
+
+def utilization_table(result: ScheduleResult) -> str:
+    """Busy-seconds and share-of-makespan per site."""
+    rows = []
+    makespan = result.makespan or 1.0
+    for site, busy in sorted(result.site_busy_s.items()):
+        rows.append({
+            "site": site,
+            "busy_s": busy,
+            "tasks": len(result.tasks_at(site)),
+            "busy_over_makespan": busy / makespan,
+        })
+    return ascii_table(rows, title=f"Utilization ({result.strategy})")
+
+
+def placement_summary(result: ScheduleResult) -> str:
+    """One-line-per-site task placement breakdown."""
+    lines = [f"Placement of {result.task_count} tasks "
+             f"({result.strategy}, makespan {format_time(result.makespan)}):"]
+    by_site: dict[str, list[str]] = {}
+    for name, record in sorted(result.records.items()):
+        by_site.setdefault(record.site, []).append(name)
+    for site in sorted(by_site):
+        tasks = by_site[site]
+        shown = ", ".join(tasks[:6]) + (", ..." if len(tasks) > 6 else "")
+        lines.append(f"  {site}: {len(tasks)} tasks ({shown})")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Event and event-queue primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback at a simulated time.
+
+    Events are ordered by ``(time, seq)`` where ``seq`` is assigned
+    monotonically at scheduling time, making simultaneous events fire in
+    FIFO order — the property that makes simulations deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple = ()):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue skips it lazily on pop."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6g} seq={self.seq}{state}>"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with lazy cancellation.
+
+    Cancelled events stay in the heap until popped, then get skipped;
+    this keeps ``cancel`` O(1) at the cost of transient heap growth, the
+    standard trade-off for simulators with timeouts that rarely fire.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def push(self, time: float, callback: Callable, args: tuple = ()) -> Event:
+        """Create and enqueue an event; returns it (for cancellation)."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event.
+
+        Raises :class:`SimulationError` when no live event remains.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: caller cancelled an event it got from push."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

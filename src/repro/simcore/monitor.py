@@ -1,0 +1,98 @@
+"""Metric collection for simulations.
+
+A :class:`Monitor` stores timestamped samples per named series plus
+monotonic counters, and converts series to numpy arrays for analysis.
+Keeping collection separate from simulation logic lets experiment code
+decide what to record without touching the substrate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import Summary, summarize
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace event (who/what/when)."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict
+
+
+class Monitor:
+    """Timestamped series, counters, and structured trace records."""
+
+    def __init__(self, sim=None):
+        self.sim = sim
+        self._series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self.counters: dict[str, float] = defaultdict(float)
+        self.trace: list[TraceRecord] = []
+        self.trace_enabled = True
+
+    # -- recording -------------------------------------------------------------
+    def record(self, series: str, value: float, time: float | None = None) -> None:
+        """Append ``(time, value)`` to ``series``; time defaults to sim.now."""
+        if time is None:
+            time = self.sim.now if self.sim is not None else 0.0
+        self._series[series].append((float(time), float(value)))
+
+    def count(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a named counter."""
+        self.counters[counter] += amount
+
+    def log(self, kind: str, subject: str, **detail) -> None:
+        """Append a structured trace record (skipped if tracing disabled)."""
+        if not self.trace_enabled:
+            return
+        time = self.sim.now if self.sim is not None else 0.0
+        self.trace.append(TraceRecord(time, kind, subject, detail))
+
+    # -- retrieval ---------------------------------------------------------------
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def times(self, series: str) -> np.ndarray:
+        data = self._series.get(series, [])
+        return np.asarray([t for t, _ in data], dtype=float)
+
+    def values(self, series: str) -> np.ndarray:
+        data = self._series.get(series, [])
+        return np.asarray([v for _, v in data], dtype=float)
+
+    def summary(self, series: str) -> Summary:
+        return summarize(self.values(series))
+
+    def time_average(self, series: str, horizon: float | None = None) -> float:
+        """Piecewise-constant time average of a level series.
+
+        Treats each sample as the level holding until the next sample;
+        the last level holds until ``horizon`` (default: last sample time,
+        giving NaN-free behaviour for single-sample series).
+        """
+        data = self._series.get(series, [])
+        if not data:
+            return float("nan")
+        times = np.asarray([t for t, _ in data], dtype=float)
+        vals = np.asarray([v for _, v in data], dtype=float)
+        end = times[-1] if horizon is None else float(horizon)
+        if end <= times[0]:
+            return float(vals[0])
+        bounded = np.append(times, end)
+        widths = np.diff(bounded)
+        total = float(np.sum(widths * vals))
+        return total / (end - times[0])
+
+    def events_of(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.trace if r.kind == kind]
+
+    def clear(self) -> None:
+        self._series.clear()
+        self.counters.clear()
+        self.trace.clear()

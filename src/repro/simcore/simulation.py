@@ -1,0 +1,137 @@
+"""The event loop: :class:`Simulator`."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.errors import SimulationError
+from repro.simcore.event import Event, EventQueue
+from repro.simcore.process import Process, Signal, Timeout, Waitable
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a float clock (seconds).
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_generator(sim))
+        sim.run()                      # until no events remain
+        print(sim.now)
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._queue = EventQueue()
+        self._now = float(start_time)
+        self._running = False
+        self._processes_started = 0
+        self.event_count = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (t={time} < now={self._now})"
+            )
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if it already fired/cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def _immediate(self, callback: Callable, arg) -> None:
+        """Schedule ``callback(arg)`` at the current instant (after events
+        already queued for this instant — preserves FIFO causality)."""
+        self._queue.push(self._now, callback, (arg,))
+
+    # -- processes & waitables ------------------------------------------------
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns the joinable Process."""
+        proc = Process(gen, name=name)
+        proc._bind(self)
+        self._processes_started += 1
+        return proc
+
+    def timeout(self, delay: float, result=None) -> Timeout:
+        """Create a bound :class:`Timeout` (usable outside a process)."""
+        t = Timeout(delay, result)
+        t._bind(self)
+        return t
+
+    def signal(self) -> Signal:
+        """Create a bound :class:`Signal`."""
+        return Signal(self)
+
+    # -- running ---------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event queue produced a time in the past")
+        self._now = event.time
+        self.event_count += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` more events have fired. Returns the final clock.
+
+        When stopping at ``until`` the clock is advanced to exactly
+        ``until`` (events beyond it remain queued).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_process(self, gen: Generator, until: float | None = None):
+        """Convenience: start ``gen``, run, and return its result.
+
+        Raises the process's exception if it failed, or
+        :class:`SimulationError` if the simulation drained before the
+        process finished (deadlock).
+        """
+        proc = self.process(gen)
+        self.run(until=until)
+        if not proc.fired:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock or until-limit)"
+            )
+        return proc.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.6g} pending={len(self._queue)}>"

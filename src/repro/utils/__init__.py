@@ -1,0 +1,65 @@
+"""Shared utilities: units, seeded RNG streams, statistics, tables.
+
+These helpers are deliberately dependency-light; everything else in the
+library builds on them.
+"""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    Kbps,
+    Mbps,
+    Gbps,
+    Tbps,
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    MINUTE,
+    HOUR,
+    format_bytes,
+    format_rate,
+    format_time,
+    parse_size,
+)
+from repro.utils.rng import RngRegistry, derive_seed
+from repro.utils.stats import RunningStats, percentile, summarize
+from repro.utils.tables import ascii_table, format_row
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "Kbps",
+    "Mbps",
+    "Gbps",
+    "Tbps",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "format_bytes",
+    "format_rate",
+    "format_time",
+    "parse_size",
+    "RngRegistry",
+    "derive_seed",
+    "RunningStats",
+    "percentile",
+    "summarize",
+    "ascii_table",
+    "format_row",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+]

@@ -1,0 +1,90 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark harness prints the same rows/series a paper table would
+contain; this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _normalize(value):
+    """Unwrap numpy scalars (np.float64, np.bool_) to Python types so
+    rendering and alignment treat them like their builtin equivalents."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (ValueError, TypeError):
+            return value
+    return value
+
+
+def format_row(values: Sequence, widths: Sequence[int]) -> str:
+    """Format one row given per-column widths; numbers right-aligned."""
+    cells = []
+    for value, width in zip(values, widths):
+        value = _normalize(value)
+        text = _render(value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            cells.append(text.rjust(width))
+        else:
+            cells.append(text.ljust(width))
+    return "| " + " | ".join(cells) + " |"
+
+
+def _render(value) -> str:
+    value = _normalize(value)
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(
+    rows: Sequence[Mapping] | Sequence[Sequence],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows (dicts or sequences) as a GitHub-style text table.
+
+    Dict rows take their column order from ``headers`` if given, else from
+    the first row's key order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+
+    if isinstance(rows[0], Mapping):
+        if headers is None:
+            # union of keys over all rows, first-seen order
+            headers = []
+            for row in rows:
+                for key in row:
+                    if key not in headers:
+                        headers.append(key)
+        body = [[row.get(h, "") for h in headers] for row in rows]
+    else:
+        body = [list(row) for row in rows]
+        if headers is None:
+            headers = [f"col{i}" for i in range(len(body[0]))]
+
+    rendered = [[_render(v) for v in row] for row in body]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rendered)) if rendered else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers), widths))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in body:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Memoization-table checkpointing.
+
+A checkpoint file makes workflow restarts cheap: completed task results
+survive process death, so a re-run only executes the remaining frontier.
+The format is a pickle of the memo table with a version header; loading
+is tolerant of a missing file (fresh start) but strict about corruption.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+from repro.errors import WorkflowError
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(path: str, table: dict) -> None:
+    """Atomically write the memo table to ``path``."""
+    payload = {"version": _FORMAT_VERSION, "results": table}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=4)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read a memo table; a missing file yields an empty table."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception as exc:
+        raise WorkflowError(f"corrupt checkpoint {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise WorkflowError(f"corrupt checkpoint {path!r}: bad structure")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise WorkflowError(
+            f"checkpoint {path!r} has version {payload.get('version')}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    return payload["results"]

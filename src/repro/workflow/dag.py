@@ -1,0 +1,227 @@
+"""Workflow DAGs: dataflow-derived dependency graphs over task specs.
+
+Dependencies are primarily *inferred from data*: if task B reads a dataset
+task A produces, B depends on A. Control-only edges (``after=``) add
+ordering without data. The DAG validates acyclicity and single-producer
+discipline, and offers the graph analyses (topological order, levels,
+critical path, bottom levels) the placement strategies need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import networkx as nx
+
+from repro.errors import WorkflowError
+from repro.workflow.task import TaskSpec
+
+
+class WorkflowDAG:
+    """A named, validated collection of :class:`TaskSpec`."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        self._tasks: dict[str, TaskSpec] = {}
+        self._producer: dict[str, str] = {}   # dataset name -> task name
+        self._consumers: dict[str, set[str]] = {}  # dataset -> task names
+        self._graph = nx.DiGraph()
+
+    # -- construction ------------------------------------------------------------
+    def add_task(self, task: TaskSpec) -> TaskSpec:
+        """Insert a task; dataflow edges to already-known producers and
+        consumers are wired automatically. Cycles are rejected on the
+        spot so the DAG is always valid."""
+        if task.name in self._tasks:
+            raise WorkflowError(f"duplicate task name {task.name!r}")
+        for dep in task.after:
+            if dep not in self._tasks:
+                raise WorkflowError(
+                    f"task {task.name!r} declares after={dep!r} which does "
+                    f"not exist (add dependencies first)"
+                )
+        for out in task.output_names:
+            owner = self._producer.get(out)
+            if owner is not None:
+                raise WorkflowError(
+                    f"dataset {out!r} produced by both {owner!r} and "
+                    f"{task.name!r}"
+                )
+        self._tasks[task.name] = task
+        self._graph.add_node(task.name)
+        for out in task.output_names:
+            self._producer[out] = task.name
+        for inp in task.inputs:
+            self._consumers.setdefault(inp, set()).add(task.name)
+        self._rewire(task)
+        # wire consumers added before this producer existed (index lookup,
+        # not a scan — DAG construction stays near-linear)
+        for out in task.output_names:
+            for consumer in self._consumers.get(out, ()):
+                if consumer != task.name:
+                    self._graph.add_edge(task.name, consumer)
+        # A new node can only close a cycle if it has both incoming and
+        # outgoing edges; skip the (linear-time) acyclicity check otherwise.
+        if (
+            self._graph.in_degree(task.name) > 0
+            and self._graph.out_degree(task.name) > 0
+            and not nx.is_directed_acyclic_graph(self._graph)
+        ):
+            # roll back before raising
+            self._graph.remove_node(task.name)
+            del self._tasks[task.name]
+            for out in task.output_names:
+                del self._producer[out]
+            for inp in task.inputs:
+                self._consumers[inp].discard(task.name)
+            raise WorkflowError(f"adding task {task.name!r} creates a cycle")
+        return task
+
+    def _rewire(self, task: TaskSpec) -> None:
+        for inp in task.inputs:
+            producer = self._producer.get(inp)
+            if producer is not None and producer != task.name:
+                self._graph.add_edge(producer, task.name)
+        for dep in task.after:
+            self._graph.add_edge(dep, task.name)
+
+    # -- lookup --------------------------------------------------------------------
+    def task(self, name: str) -> TaskSpec:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise WorkflowError(f"unknown task {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    @property
+    def tasks(self) -> list[TaskSpec]:
+        return list(self._tasks.values())
+
+    def producer_of(self, dataset_name: str) -> str | None:
+        """Task producing ``dataset_name``, or None if external."""
+        return self._producer.get(dataset_name)
+
+    def dependencies(self, name: str) -> list[str]:
+        self.task(name)
+        return sorted(self._graph.predecessors(name))
+
+    def dependents(self, name: str) -> list[str]:
+        self.task(name)
+        return sorted(self._graph.successors(name))
+
+    def external_inputs(self) -> set[str]:
+        """Dataset names read by tasks but produced by none — these must
+        exist in the replica catalog before the workflow starts."""
+        consumed = {i for t in self._tasks.values() for i in t.inputs}
+        return consumed - set(self._producer)
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    @property
+    def total_work(self) -> float:
+        return sum(t.work for t in self._tasks.values())
+
+    @property
+    def total_output_bytes(self) -> float:
+        return sum(t.output_bytes for t in self._tasks.values())
+
+    # -- analyses ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise unless non-empty (acyclicity is maintained on insert)."""
+        if not self._tasks:
+            raise WorkflowError(f"workflow {self.name!r} has no tasks")
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order (ties broken by insertion)."""
+        order_index = {name: i for i, name in enumerate(self._tasks)}
+        return list(
+            nx.lexicographical_topological_sort(
+                self._graph, key=lambda n: order_index[n]
+            )
+        )
+
+    def levels(self) -> list[list[str]]:
+        """Tasks grouped by dependency depth (level 0 = sources)."""
+        depth: dict[str, int] = {}
+        for name in self.topological_order():
+            preds = list(self._graph.predecessors(name))
+            depth[name] = 1 + max((depth[p] for p in preds), default=-1)
+        n_levels = max(depth.values(), default=-1) + 1
+        grouped: list[list[str]] = [[] for _ in range(n_levels)]
+        for name, d in depth.items():
+            grouped[d].append(name)
+        return grouped
+
+    def critical_path(
+        self, time_of: Callable[[TaskSpec], float] | None = None
+    ) -> tuple[float, list[str]]:
+        """Longest path through the DAG under ``time_of`` (defaults to
+        ``task.work``). Returns ``(length, task names along the path)``.
+        This is the classic lower bound on makespan with infinite
+        resources and free communication."""
+        self.validate()
+        if time_of is None:
+            time_of = lambda t: t.work  # noqa: E731 - tiny default
+        finish: dict[str, float] = {}
+        best_pred: dict[str, str | None] = {}
+        for name in self.topological_order():
+            task = self._tasks[name]
+            preds = list(self._graph.predecessors(name))
+            if preds:
+                p = max(preds, key=lambda q: finish[q])
+                start = finish[p]
+                best_pred[name] = p
+            else:
+                start = 0.0
+                best_pred[name] = None
+            finish[name] = start + time_of(task)
+        end = max(finish, key=lambda n: finish[n])
+        path = [end]
+        while best_pred[path[-1]] is not None:
+            path.append(best_pred[path[-1]])
+        path.reverse()
+        return finish[end], path
+
+    def bottom_levels(
+        self, time_of: Callable[[TaskSpec], float] | None = None
+    ) -> dict[str, float]:
+        """HEFT-style upward ranks: longest remaining path from each task
+        (inclusive) to any sink. Used to prioritize critical tasks."""
+        if time_of is None:
+            time_of = lambda t: t.work  # noqa: E731 - tiny default
+        rank: dict[str, float] = {}
+        for name in reversed(self.topological_order()):
+            succs = list(self._graph.successors(name))
+            tail = max((rank[s] for s in succs), default=0.0)
+            rank[name] = time_of(self._tasks[name]) + tail
+        return rank
+
+    def subgraph_counts(self) -> dict[str, int]:
+        """Quick shape summary: sources, sinks, max width."""
+        sources = [n for n in self._graph if self._graph.in_degree(n) == 0]
+        sinks = [n for n in self._graph if self._graph.out_degree(n) == 0]
+        width = max((len(level) for level in self.levels()), default=0)
+        return {"sources": len(sources), "sinks": len(sinks), "max_width": width}
+
+    def extend(self, tasks: Iterable[TaskSpec]) -> "WorkflowDAG":
+        """Bulk-add; returns self for chaining."""
+        for task in tasks:
+            self.add_task(task)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WorkflowDAG {self.name!r} tasks={len(self._tasks)} "
+            f"edges={self.edge_count}>"
+        )

@@ -1,0 +1,88 @@
+"""Execution backends for the real dataflow kernel.
+
+Two are provided: a thread-pool executor for actual parallelism (tasks
+here are typically I/O-bound or numpy-bound, both of which release the
+GIL), and a serial in-caller executor whose determinism the test suite
+leans on. Both expose the same two-method interface, so the kernel is
+backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.errors import WorkflowError
+
+
+class ExecutorBase:
+    """Minimal executor interface: ``submit`` and ``shutdown``."""
+
+    label = "base"
+
+    def submit(self, fn, *args, **kwargs) -> Future:  # pragma: no cover
+        raise NotImplementedError
+
+    def shutdown(self, wait: bool = True) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SerialExecutor(ExecutorBase):
+    """Runs each task synchronously in the submitting thread.
+
+    Deterministic and exception-transparent — the reference backend for
+    tests and for debugging user workflows.
+    """
+
+    label = "serial"
+
+    def __init__(self) -> None:
+        self.tasks_run = 0
+        self._closed = False
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        if self._closed:
+            raise WorkflowError("submit on a shut-down executor")
+        future: Future = Future()
+        self.tasks_run += 1
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+
+
+class ThreadExecutor(ExecutorBase):
+    """Thread-pool backend with simple counters."""
+
+    label = "threads"
+
+    def __init__(self, max_workers: int = 4):
+        if max_workers < 1:
+            raise WorkflowError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._lock = threading.Lock()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self._closed = False
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        if self._closed:
+            raise WorkflowError("submit on a shut-down executor")
+        with self._lock:
+            self.tasks_submitted += 1
+        future = self._pool.submit(fn, *args, **kwargs)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self.tasks_completed += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)

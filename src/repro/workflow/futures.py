@@ -1,0 +1,28 @@
+"""Futures returned by the real-execution dataflow kernel."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+
+class AppFuture(Future):
+    """A :class:`concurrent.futures.Future` with task identity attached.
+
+    Passing an AppFuture as an argument to a later ``submit`` call makes
+    the kernel wait for it and substitute its result — Parsl's implicit
+    dataflow. ``task_id``/``func_name`` identify the producing task;
+    ``tries`` counts execution attempts (for retry diagnostics);
+    ``from_memo`` marks results served from the memoization table.
+    """
+
+    def __init__(self, task_id: int, func_name: str):
+        super().__init__()
+        self.task_id = task_id
+        self.func_name = func_name
+        self.tries = 0
+        self.from_memo = False
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        memo = " memo" if self.from_memo else ""
+        return f"<AppFuture #{self.task_id} {self.func_name} {state}{memo}>"

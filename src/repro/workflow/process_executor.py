@@ -1,0 +1,48 @@
+"""Process-pool backend: real parallelism for CPU-bound tasks.
+
+Python threads serialize CPU-bound pure-Python work on the GIL; a
+process pool sidesteps it at the cost of pickling. Functions and
+arguments must be picklable (defined at module top level) — the usual
+`concurrent.futures.ProcessPoolExecutor` contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from repro.errors import WorkflowError
+from repro.workflow.executors import ExecutorBase
+
+
+class ProcessExecutor(ExecutorBase):
+    """ProcessPoolExecutor-backed task execution."""
+
+    label = "processes"
+
+    def __init__(self, max_workers: int = 2):
+        if max_workers < 1:
+            raise WorkflowError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        self._lock = threading.Lock()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self._closed = False
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        if self._closed:
+            raise WorkflowError("submit on a shut-down executor")
+        with self._lock:
+            self.tasks_submitted += 1
+        future = self._pool.submit(fn, *args, **kwargs)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._lock:
+            self.tasks_completed += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)

@@ -1,0 +1,45 @@
+"""Synthetic workloads shaped like the keynote's motivating domains.
+
+DAG families (chains, fork-join, map-reduce, layered random, montage-like)
+parameterize the compute-to-data ratio experiments; the science module
+builds light-source and climate-ensemble pipelines; the edge-AI module
+builds deadline-carrying inference workloads; the streaming module
+provides arrival processes and skewed dataset reference streams.
+"""
+
+from repro.workloads.dags import (
+    chain_dag,
+    fork_join_dag,
+    layered_random_dag,
+    map_reduce_dag,
+    montage_like_dag,
+    stencil_dag,
+)
+from repro.workloads.streaming import (
+    poisson_arrivals,
+    uniform_arrivals,
+    zipf_dataset_stream,
+)
+from repro.workloads.science import beamline_pipeline, climate_ensemble
+from repro.workloads.edge_ai import inference_dag, InferenceRequest, request_stream
+from repro.workloads.traces import result_rows, save_rows, load_rows
+
+__all__ = [
+    "chain_dag",
+    "fork_join_dag",
+    "layered_random_dag",
+    "map_reduce_dag",
+    "montage_like_dag",
+    "stencil_dag",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "zipf_dataset_stream",
+    "beamline_pipeline",
+    "climate_ensemble",
+    "inference_dag",
+    "InferenceRequest",
+    "request_stream",
+    "result_rows",
+    "save_rows",
+    "load_rows",
+]

@@ -1,0 +1,104 @@
+"""Science-shaped workflows: the keynote's motivating applications.
+
+Two pipelines from Foster's own application domains:
+
+- **beamline_pipeline** — an X-ray light source streams detector frames;
+  each needs reconstruction (accelerator-friendly ``kind``) and quality
+  assessment; results aggregate into one product. High data-to-compute
+  ratio, data born at the instrument: the data-gravity regime.
+- **climate_ensemble** — N independent simulation members (compute-heavy,
+  tiny inputs) followed by per-member post-processing and a global
+  statistics step: the ship-everything-to-HPC regime.
+"""
+
+from __future__ import annotations
+
+from repro.datafabric.dataset import Dataset
+from repro.errors import WorkflowError
+from repro.workflow.dag import WorkflowDAG
+from repro.workflow.task import TaskSpec
+
+
+def beamline_pipeline(
+    n_frames: int,
+    *,
+    frame_bytes: float = 2e8,
+    reconstruction_work: float = 16.0,
+    qa_work: float = 2.0,
+    aggregate_work: float = 8.0,
+    deadline_s: float | None = None,
+    name: str = "beamline",
+) -> tuple[WorkflowDAG, list[Dataset]]:
+    """Frame-parallel reconstruction with a final aggregation.
+
+    Per frame: reconstruct (``kind="reconstruction"``) then QA; QA
+    outputs are small. Optional per-frame deadline models the on-line
+    feedback loop beam scientists want ("is this sample aligned?").
+    """
+    if n_frames < 1:
+        raise WorkflowError(f"need >= 1 frame, got {n_frames}")
+    dag = WorkflowDAG(name)
+    externals = []
+    qa_outputs = []
+    for i in range(n_frames):
+        frame = Dataset(f"{name}-frame{i}", frame_bytes)
+        externals.append(frame)
+        recon = Dataset(f"{name}-recon{i}", frame_bytes / 4)
+        dag.add_task(TaskSpec(
+            f"{name}-reconstruct{i}", work=reconstruction_work,
+            kind="reconstruction", inputs=(frame.name,), outputs=(recon,),
+            deadline_s=deadline_s,
+        ))
+        qa = Dataset(f"{name}-qa{i}", 1e5)
+        qa_outputs.append(qa)
+        dag.add_task(TaskSpec(
+            f"{name}-qa{i}", work=qa_work, inputs=(recon.name,),
+            outputs=(qa,), deadline_s=deadline_s,
+        ))
+    dag.add_task(TaskSpec(
+        f"{name}-aggregate", work=aggregate_work,
+        inputs=tuple(q.name for q in qa_outputs),
+    ))
+    return dag, externals
+
+
+def climate_ensemble(
+    n_members: int,
+    *,
+    config_bytes: float = 1e6,
+    member_work: float = 200.0,
+    member_output_bytes: float = 5e8,
+    post_work: float = 10.0,
+    stats_work: float = 20.0,
+    name: str = "climate",
+) -> tuple[WorkflowDAG, list[Dataset]]:
+    """Ensemble fan-out -> per-member post-processing -> statistics.
+
+    Members carry heavy ``kind="simulation"`` work (HPC-specialized in
+    the science-grid preset) with tiny configs in and large model output,
+    post-processed down before the cross-member statistics step.
+    """
+    if n_members < 1:
+        raise WorkflowError(f"need >= 1 member, got {n_members}")
+    dag = WorkflowDAG(name)
+    externals = []
+    summaries = []
+    for i in range(n_members):
+        config = Dataset(f"{name}-cfg{i}", config_bytes)
+        externals.append(config)
+        raw_out = Dataset(f"{name}-member{i}", member_output_bytes)
+        dag.add_task(TaskSpec(
+            f"{name}-sim{i}", work=member_work, kind="simulation",
+            inputs=(config.name,), outputs=(raw_out,),
+        ))
+        summary = Dataset(f"{name}-summary{i}", member_output_bytes / 50)
+        summaries.append(summary)
+        dag.add_task(TaskSpec(
+            f"{name}-post{i}", work=post_work, inputs=(raw_out.name,),
+            outputs=(summary,),
+        ))
+    dag.add_task(TaskSpec(
+        f"{name}-stats", work=stats_work,
+        inputs=tuple(s.name for s in summaries),
+    ))
+    return dag, externals

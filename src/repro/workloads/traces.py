@@ -1,0 +1,58 @@
+"""Result traces: flatten schedule results to rows, persist as JSON.
+
+Benchmarks record their measurements this way so EXPERIMENTS.md numbers
+can be regenerated and diffed run-over-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.placement import ScheduleResult
+from repro.errors import ConfigurationError
+
+
+def result_rows(result: ScheduleResult) -> list[dict]:
+    """One dict per task with the measured lifecycle fields."""
+    rows = []
+    for name, r in sorted(result.records.items()):
+        rows.append({
+            "task": name,
+            "site": r.site,
+            "kind": r.kind,
+            "ready_at": r.ready_at,
+            "stage_time": r.stage_time,
+            "queue_time": r.queue_time,
+            "exec_time": r.exec_time,
+            "finished": r.exec_finished,
+            "bytes_staged": r.bytes_staged,
+            "energy_j": r.energy_j,
+            "met_deadline": r.met_deadline,
+        })
+    return rows
+
+
+def save_rows(path: str, rows: list[dict], meta: dict | None = None) -> None:
+    """Write rows (+ metadata) as a JSON document, atomically."""
+    payload = {"meta": meta or {}, "rows": rows}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_rows(path: str) -> tuple[list[dict], dict]:
+    """Read back ``(rows, meta)``."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ConfigurationError(f"no trace file at {path!r}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"corrupt trace file {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ConfigurationError(f"corrupt trace file {path!r}: bad structure")
+    return payload["rows"], payload.get("meta", {})

@@ -1,0 +1,108 @@
+"""Quick-mode smoke tests for every experiment: each must run, produce
+non-empty rows with its expected columns, and reproduce its headline
+shape claim. (The benchmark suite asserts the full shape set; these keep
+`pytest tests/` sufficient to catch experiment regressions.)"""
+
+import pytest
+
+from repro.bench import EXPERIMENTS
+from repro.bench.e02_strategies import place_externals
+from repro.continuum import science_grid, Tier
+from repro.datafabric import Dataset
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert sorted(EXPERIMENTS) == [
+            "E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+            "E9"
+        ]
+
+
+class TestPlaceExternals:
+    def test_round_robin_over_peripherals(self):
+        topo = science_grid()
+        externals = [Dataset(f"d{i}", 1.0) for i in range(4)]
+        placed = place_externals(topo, externals)
+        sites = {site for _, site in placed}
+        for site in sites:
+            assert topo.site(site).tier.is_peripheral
+        assert len(placed) == 4
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_quick_mode_produces_rows(exp_id):
+    result = EXPERIMENTS[exp_id](quick=True, seed=0)
+    assert result.experiment_id == exp_id
+    assert result.rows, f"{exp_id} produced no rows"
+    assert result.notes, f"{exp_id} recorded no notes"
+    # all rows of an experiment share a coherent schema (subset of union)
+    keys = set().union(*(set(r) for r in result.rows))
+    assert keys
+
+
+class TestHeadlineShapes:
+    def test_e1_crossover_exists(self):
+        result = EXPERIMENTS["E1"](quick=True)
+        wins = [r["offload_wins_sim"] for r in result.rows]
+        assert not wins[0] and wins[-1]
+
+    def test_e2_greedy_wins_climate(self):
+        result = EXPERIMENTS["E2"](quick=True)
+        climate = [r for r in result.rows if r["workload"] == "climate"]
+        best = min(climate, key=lambda r: r["makespan_s"])
+        assert best["strategy"] in ("greedy-eft", "heft", "min-min", "max-min")
+
+    def test_e4_cold_worse_than_warm(self):
+        result = EXPERIMENTS["E4"](quick=True)
+        rows = {r["scenario"]: r for r in result.rows}
+        assert rows["keep-alive=0s"]["p95_ms"] > rows["keep-alive=60s"]["p95_ms"]
+
+    def test_e5_cloud_collapses_at_high_latency(self):
+        result = EXPERIMENTS["E5"](quick=True)
+        cloud = [r for r in result.rows if r["policy"] == "cloud"]
+        assert cloud[-1]["satisfaction"] < cloud[0]["satisfaction"]
+
+    def test_e6_caches_beat_streaming(self):
+        result = EXPERIMENTS["E6"](quick=True)
+        stream = next(r for r in result.rows if r["policy"] == "none (stream)")
+        lru = next(r for r in result.rows if r["policy"] == "lru")
+        assert lru["GB_moved"] < stream["GB_moved"]
+
+    def test_e8_adaptive_beats_static_after_shift(self):
+        result = EXPERIMENTS["E8"](quick=True)
+        last = result.rows[-1]
+        assert last["cum_regret_adaptive"] < last["cum_regret_static"]
+
+    def test_e10_thin_pipe_stays_local(self):
+        result = EXPERIMENTS["E10"](quick=True)
+        thin = [r for r in result.rows if r["bandwidth_Mbps"] == 4.0]
+        assert all(r["speedup"] == 1.0 for r in thin)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("exp_id", ["E1", "E2", "E6", "E7", "E10"])
+    def test_same_seed_same_rows(self, exp_id):
+        a = EXPERIMENTS[exp_id](quick=True, seed=3)
+        b = EXPERIMENTS[exp_id](quick=True, seed=3)
+        assert a.rows == b.rows
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E1"]) == 0
+        out = capsys.readouterr().out
+        assert "E1: Gilder crossover" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E42"]) == 2
+
+    def test_save_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E1", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "e1.txt").exists()

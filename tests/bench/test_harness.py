@@ -1,0 +1,44 @@
+import os
+
+from repro.bench.harness import ExperimentResult, render, save_result
+
+
+class TestExperimentResult:
+    def test_row_appends_and_returns(self):
+        result = ExperimentResult("EX", "title")
+        row = result.row(a=1, b=2)
+        assert row == {"a": 1, "b": 2}
+        assert result.rows == [{"a": 1, "b": 2}]
+
+    def test_notes(self):
+        result = ExperimentResult("EX", "title")
+        result.note("observation")
+        assert result.notes == ["observation"]
+
+
+class TestRender:
+    def test_contains_id_title_rows_notes(self):
+        result = ExperimentResult("EX", "My Experiment")
+        result.row(metric=42.0)
+        result.note("shape holds")
+        text = render(result)
+        assert "EX: My Experiment" in text
+        assert "metric" in text and "42" in text
+        assert "- shape holds" in text
+
+
+class TestSave:
+    def test_writes_lowercase_id_file(self, tmp_path):
+        result = ExperimentResult("E99", "save test")
+        result.row(x=1)
+        path = save_result(result, str(tmp_path))
+        assert os.path.basename(path) == "e99.txt"
+        content = open(path).read()
+        assert "E99: save test" in content
+
+    def test_creates_directory(self, tmp_path):
+        target = str(tmp_path / "deep" / "dir")
+        result = ExperimentResult("E1", "t")
+        result.row(x=1)
+        save_result(result, target)
+        assert os.path.isdir(target)

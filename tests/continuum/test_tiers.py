@@ -1,0 +1,48 @@
+import pytest
+
+from repro.continuum import Tier
+
+
+class TestOrdering:
+    def test_periphery_to_core_order(self):
+        assert Tier.DEVICE < Tier.EDGE < Tier.FOG < Tier.CLOUD < Tier.HPC
+
+    def test_ge_le(self):
+        assert Tier.CLOUD >= Tier.CLOUD
+        assert Tier.EDGE <= Tier.FOG
+
+    def test_comparison_with_non_tier(self):
+        with pytest.raises(TypeError):
+            Tier.EDGE < 3
+
+
+class TestPredicates:
+    def test_peripheral(self):
+        assert Tier.DEVICE.is_peripheral
+        assert Tier.EDGE.is_peripheral
+        assert not Tier.CLOUD.is_peripheral
+
+    def test_central(self):
+        assert Tier.CLOUD.is_central
+        assert Tier.HPC.is_central
+        assert not Tier.FOG.is_central
+
+
+class TestParse:
+    def test_parse_tier(self):
+        assert Tier.parse(Tier.FOG) is Tier.FOG
+
+    def test_parse_string_any_case(self):
+        assert Tier.parse("cloud") is Tier.CLOUD
+        assert Tier.parse("HPC") is Tier.HPC
+
+    def test_parse_int(self):
+        assert Tier.parse(0) is Tier.DEVICE
+
+    def test_parse_bad_string(self):
+        with pytest.raises(ValueError):
+            Tier.parse("mainframe")
+
+    def test_parse_bad_int(self):
+        with pytest.raises(ValueError):
+            Tier.parse(99)

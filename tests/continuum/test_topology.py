@@ -1,0 +1,152 @@
+import math
+
+import pytest
+
+from repro.continuum import Link, Site, Tier, Topology
+from repro.errors import TopologyError
+
+
+def simple_triangle():
+    topo = Topology("tri")
+    for name in ("a", "b", "c"):
+        topo.add_site(Site(name, Tier.FOG))
+    topo.add_link("a", "b", Link(0.010, 1e9))
+    topo.add_link("b", "c", Link(0.010, 2e9))
+    topo.add_link("a", "c", Link(0.050, 10e9))
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_site_rejected(self):
+        topo = Topology()
+        topo.add_site(Site("a", Tier.EDGE))
+        with pytest.raises(TopologyError):
+            topo.add_site(Site("a", Tier.CLOUD))
+
+    def test_link_unknown_site_rejected(self):
+        topo = Topology()
+        topo.add_site(Site("a", Tier.EDGE))
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "b", Link(0.01, 1e9))
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_site(Site("a", Tier.EDGE))
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "a", Link(0.01, 1e9))
+
+    def test_duplicate_link_rejected(self):
+        topo = simple_triangle()
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "b", Link(0.02, 1e9))
+
+    def test_contains_and_len(self):
+        topo = simple_triangle()
+        assert "a" in topo and "z" not in topo
+        assert len(topo) == 3
+
+    def test_site_lookup(self):
+        topo = simple_triangle()
+        assert topo.site("a").name == "a"
+        with pytest.raises(TopologyError):
+            topo.site("nope")
+
+    def test_sites_by_tier(self):
+        topo = Topology()
+        topo.add_site(Site("e", Tier.EDGE))
+        topo.add_site(Site("c", Tier.CLOUD))
+        assert [s.name for s in topo.sites_by_tier(Tier.EDGE)] == ["e"]
+        assert [s.name for s in topo.sites_by_tier("cloud")] == ["c"]
+
+    def test_link_lookup(self):
+        topo = simple_triangle()
+        assert topo.link("a", "b").latency_s == 0.010
+        # undirected
+        assert topo.link("b", "a").latency_s == 0.010
+        with pytest.raises(TopologyError):
+            topo.link("a", "z")
+
+    def test_links_listing(self):
+        assert len(simple_triangle().links()) == 3
+
+
+class TestRouting:
+    def test_local_path(self):
+        info = simple_triangle().path_info("a", "a")
+        assert info.latency_s == 0.0
+        assert info.bandwidth_Bps == math.inf
+        assert info.hop_count == 0
+        assert info.transfer_time(1e12) == 0.0
+
+    def test_direct_wins_when_faster(self):
+        # a->c direct is 50 ms; a->b->c is 20 ms: routing picks the 2-hop.
+        info = simple_triangle().path_info("a", "c")
+        assert info.hops == ("a", "b", "c")
+        assert info.latency_s == pytest.approx(0.020)
+        assert info.bandwidth_Bps == 1e9  # bottleneck of the two hops
+
+    def test_costs_add_along_path(self):
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_site(Site(name, Tier.FOG))
+        topo.add_link("a", "b", Link(0.01, 1e9, usd_per_gb=0.05))
+        topo.add_link("b", "c", Link(0.01, 1e9, usd_per_gb=0.04))
+        info = topo.path_info("a", "c")
+        assert info.usd_per_gb == pytest.approx(0.09)
+        assert info.transfer_cost(2e9) == pytest.approx(0.18)
+
+    def test_transfer_time_on_path(self):
+        info = simple_triangle().path_info("a", "c")
+        # 20 ms latency + 1 GB at bottleneck 1 GB/s
+        assert info.transfer_time(1e9) == pytest.approx(1.020)
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_site(Site("a", Tier.EDGE))
+        topo.add_site(Site("b", Tier.EDGE))
+        with pytest.raises(TopologyError):
+            topo.path_info("a", "b")
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(TopologyError):
+            simple_triangle().path_info("a", "zzz")
+
+    def test_cache_invalidated_on_new_link(self):
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_site(Site(name, Tier.FOG))
+        topo.add_link("a", "b", Link(0.010, 1e9))
+        topo.add_link("b", "c", Link(0.010, 1e9))
+        assert topo.path_info("a", "c").hop_count == 2
+        topo2 = Topology()  # sanity: fresh object unaffected
+        del topo2
+        topo.add_site(Site("d", Tier.FOG))
+        topo.add_link("a", "d", Link(0.001, 1e9))
+        topo.add_link("d", "c", Link(0.001, 1e9))
+        assert topo.path_info("a", "c").hops == ("a", "d", "c")
+
+    def test_negative_transfer_size_rejected(self):
+        with pytest.raises(TopologyError):
+            simple_triangle().path_info("a", "b").transfer_time(-1)
+
+
+class TestValidate:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().validate()
+
+    def test_disconnected_rejected(self):
+        topo = Topology()
+        topo.add_site(Site("a", Tier.EDGE))
+        topo.add_site(Site("b", Tier.EDGE))
+        with pytest.raises(TopologyError, match="disconnected"):
+            topo.validate()
+
+    def test_single_site_valid(self):
+        topo = Topology()
+        topo.add_site(Site("a", Tier.EDGE))
+        topo.validate()
+
+    def test_describe(self):
+        text = simple_triangle().describe()
+        assert "3 sites" in text and "3 links" in text

@@ -1,0 +1,115 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EnergyProfile,
+    energy_crossover_work,
+    energy_offload_analysis,
+)
+
+
+class TestProfiles:
+    def test_defaults_sane(self):
+        p = EnergyProfile()
+        assert p.busy_watts > p.idle_watts
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            EnergyProfile(busy_watts=-1)
+
+
+class TestAnalysis:
+    def test_hand_computed(self):
+        p = EnergyProfile(busy_watts=4.0, tx_watts=2.0, rx_watts=1.0,
+                          idle_watts=0.5)
+        d = energy_offload_analysis(
+            work=10.0, data_up_bytes=100.0, local_speed=1.0,
+            remote_speed=10.0, bandwidth_Bps=10.0, profile=p,
+            data_down_bytes=20.0, latency_s=0.5,
+        )
+        # local: 4 W x 10 s
+        assert d.local_energy_j == pytest.approx(40.0)
+        # offload: tx 2*10 + idle 0.5*(1 + 1) + rx 1*2
+        assert d.offload_energy_j == pytest.approx(20.0 + 1.0 + 2.0)
+        assert d.offload_saves_energy
+        # time: local 10 vs offload 10 + 2 + 2 = 14
+        assert d.local_time_s == 10.0
+        assert d.offload_time_s == pytest.approx(14.0)
+        assert not d.offload_saves_time
+        assert not d.win_win
+
+    def test_win_win_regime(self):
+        # big compute, tiny data, fat pipe, fast remote
+        d = energy_offload_analysis(
+            work=100.0, data_up_bytes=10.0, local_speed=1.0,
+            remote_speed=50.0, bandwidth_Bps=1e9,
+        )
+        assert d.win_win
+
+    def test_chatty_small_compute_never_offloads(self):
+        d = energy_offload_analysis(
+            work=0.01, data_up_bytes=1e9, local_speed=1.0,
+            remote_speed=100.0, bandwidth_Bps=1e6,
+        )
+        assert not d.offload_saves_energy
+        assert not d.offload_saves_time
+
+
+class TestCrossover:
+    def test_crossover_consistency(self):
+        kwargs = dict(local_speed=1.0, remote_speed=10.0,
+                      bandwidth_Bps=1e6, data_down_bytes=0.0,
+                      latency_s=0.01)
+        w_star = energy_crossover_work(1e7, **kwargs)
+        assert w_star is not None and w_star > 0
+        below = energy_offload_analysis(w_star * 0.9, 1e7, **kwargs)
+        above = energy_offload_analysis(w_star * 1.1, 1e7, **kwargs)
+        assert not below.offload_saves_energy
+        assert above.offload_saves_energy
+
+    def test_none_when_remote_idling_costs_more(self):
+        # remote so slow that idling through it costs more per work unit
+        # than computing locally
+        p = EnergyProfile(busy_watts=1.0, idle_watts=0.9)
+        w = energy_crossover_work(
+            1e6, local_speed=10.0, remote_speed=1.0, bandwidth_Bps=1e6,
+            profile=p,
+        )
+        assert w is None
+
+    def test_zero_payload_zero_crossover(self):
+        w = energy_crossover_work(
+            0.0, local_speed=1.0, remote_speed=10.0, bandwidth_Bps=1e6,
+        )
+        assert w == 0.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        work=st.floats(0.01, 1000.0),
+        data=st.floats(1.0, 1e9),
+        bw=st.floats(1e3, 1e9),
+        s_remote=st.floats(0.5, 100.0),
+    )
+    def test_property_decision_matches_crossover(self, work, data, bw,
+                                                 s_remote):
+        kwargs = dict(local_speed=1.0, remote_speed=s_remote,
+                      bandwidth_Bps=bw)
+        w_star = energy_crossover_work(data, **kwargs)
+        d = energy_offload_analysis(work, data, **kwargs)
+        if w_star is None:
+            assert not d.offload_saves_energy
+        elif work > w_star * (1 + 1e-9):
+            assert d.offload_saves_energy
+        elif work < w_star * (1 - 1e-9):
+            assert not d.offload_saves_energy
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.floats(0.0, 1e9), work=st.floats(0.0, 1000.0))
+    def test_property_energies_nonnegative(self, data, work):
+        d = energy_offload_analysis(work, data, local_speed=1.0,
+                                    remote_speed=2.0, bandwidth_Bps=1e6)
+        assert d.local_energy_j >= 0
+        assert d.offload_energy_j >= 0

@@ -1,0 +1,50 @@
+import math
+
+import pytest
+
+from repro.core.placement import TaskRecord
+from repro.core.slo import slo_report
+
+
+def record(deadline, finished, ready=0.0):
+    r = TaskRecord(task="t", site="s", deadline_s=deadline)
+    r.ready_at = ready
+    r.exec_finished = finished
+    return r
+
+
+class TestSLOReport:
+    def test_empty_is_trivially_satisfied(self):
+        rep = slo_report([])
+        assert rep.total == 0
+        assert rep.satisfaction == 1.0
+        assert math.isnan(rep.p50_latency_s)
+
+    def test_tasks_without_deadline_ignored(self):
+        rep = slo_report([record(None, 10.0)])
+        assert rep.total == 0
+
+    def test_met_and_missed_counted(self):
+        rep = slo_report([
+            record(10.0, 5.0),    # met
+            record(10.0, 15.0),   # missed
+            record(20.0, 20.0),   # met (boundary)
+        ])
+        assert rep.total == 3
+        assert rep.met == 2
+        assert rep.satisfaction == pytest.approx(2 / 3)
+
+    def test_worst_slack(self):
+        rep = slo_report([record(10.0, 5.0), record(10.0, 17.0)])
+        assert rep.worst_slack_s == pytest.approx(-7.0)
+
+    def test_percentiles_over_turnaround(self):
+        records = [record(100.0, float(i), ready=0.0) for i in range(1, 101)]
+        rep = slo_report(records)
+        assert rep.p50_latency_s == pytest.approx(50.5)
+        assert rep.p95_latency_s > rep.p50_latency_s
+
+    def test_task_record_deadline_predicate(self):
+        assert record(10.0, 5.0).met_deadline is True
+        assert record(10.0, 15.0).met_deadline is False
+        assert record(None, 15.0).met_deadline is None

@@ -1,0 +1,64 @@
+import math
+
+import pytest
+
+from repro.continuum import science_grid
+from repro.core import GreedyEFTStrategy, TierStrategy, sensitivity_sweep
+from repro.errors import SchedulingError
+from repro.workloads import beamline_pipeline
+
+
+def workload():
+    return beamline_pipeline(4)
+
+
+class TestSensitivitySweep:
+    def test_bandwidth_sweep_shape(self):
+        rows = sensitivity_sweep(
+            science_grid, workload, GreedyEFTStrategy,
+            parameter="bandwidth_scale", scales=(0.01, 1.0, 100.0),
+        )
+        assert len(rows) == 3
+        # more bandwidth never hurts this data-heavy workload
+        makespans = [r["makespan_s"] for r in rows]
+        assert makespans[0] >= makespans[1] >= makespans[2]
+        # baseline normalization anchored at scale 1.0
+        assert rows[1]["vs_baseline"] == pytest.approx(1.0)
+        assert rows[0]["vs_baseline"] > 1.0
+
+    def test_latency_sweep(self):
+        rows = sensitivity_sweep(
+            science_grid, workload, GreedyEFTStrategy,
+            parameter="latency_scale", scales=(1.0, 50.0),
+        )
+        assert rows[1]["makespan_s"] >= rows[0]["makespan_s"]
+
+    def test_no_baseline_gives_nan(self):
+        rows = sensitivity_sweep(
+            science_grid, workload, GreedyEFTStrategy,
+            scales=(0.5, 2.0),
+        )
+        assert all(math.isnan(r["vs_baseline"]) for r in rows)
+
+    def test_edge_pinned_is_bandwidth_insensitive(self):
+        """Control: a placement that never crosses the WAN shouldn't
+        care about WAN bandwidth... except for staging its external
+        inputs from the instrument, a fixed local hop."""
+        rows = sensitivity_sweep(
+            science_grid, workload, lambda: TierStrategy("edge"),
+            parameter="bandwidth_scale", scales=(1.0, 100.0),
+            place_at=lambda topo, ext: [(d, "beamline-edge") for d in ext],
+        )
+        assert rows[0]["makespan_s"] == pytest.approx(rows[1]["makespan_s"])
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(SchedulingError):
+            sensitivity_sweep(science_grid, workload, GreedyEFTStrategy,
+                              scales=())
+
+    def test_deterministic(self):
+        def run():
+            return sensitivity_sweep(science_grid, workload,
+                                     GreedyEFTStrategy, scales=(0.5, 1.0))
+
+        assert run() == run()

@@ -1,0 +1,165 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datafabric import Cache, Dataset, EvictionPolicy
+from repro.errors import DataFabricError
+
+
+def ds(name, size=10):
+    return Dataset(name, size)
+
+
+class TestPolicyParse:
+    def test_parse_string(self):
+        assert EvictionPolicy.parse("LRU") is EvictionPolicy.LRU
+        assert EvictionPolicy.parse("largest") is EvictionPolicy.LARGEST
+
+    def test_parse_enum_passthrough(self):
+        assert EvictionPolicy.parse(EvictionPolicy.LFU) is EvictionPolicy.LFU
+
+    def test_parse_bad(self):
+        with pytest.raises(DataFabricError):
+            EvictionPolicy.parse("random")
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = Cache(100)
+        assert not c.lookup("a")
+        assert c.admit(ds("a"))
+        assert c.lookup("a")
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == 0.5
+
+    def test_admit_too_big_rejected(self):
+        c = Cache(5)
+        assert not c.admit(ds("big", 10))
+        assert c.resident == []
+
+    def test_readmit_refreshes_not_duplicates(self):
+        c = Cache(100)
+        c.admit(ds("a"))
+        c.admit(ds("a"))
+        assert c.resident == ["a"]
+        assert c.used_bytes == 10
+
+    def test_drop(self):
+        c = Cache(100)
+        c.admit(ds("a"))
+        c.drop("a")
+        assert "a" not in c
+        assert c.used_bytes == 0
+
+    def test_drop_missing(self):
+        with pytest.raises(DataFabricError):
+            Cache(100).drop("x")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(Exception):
+            Cache(0)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        c = Cache(30, "lru")
+        c.admit(ds("a"))
+        c.admit(ds("b"))
+        c.admit(ds("c"))
+        c.lookup("a")            # refresh a; b is now LRU
+        c.admit(ds("d"))         # needs eviction
+        assert "b" not in c
+        assert all(x in c for x in ("a", "c", "d"))
+        assert c.evictions == 1
+        assert c.bytes_evicted == 10
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        c = Cache(30, "lfu")
+        c.admit(ds("a"))
+        c.admit(ds("b"))
+        c.admit(ds("c"))
+        for _ in range(3):
+            c.lookup("a")
+        c.lookup("b")
+        c.admit(ds("d"))
+        assert "c" not in c      # used once (admission), least frequent
+
+    def test_tie_broken_by_recency(self):
+        c = Cache(20, "lfu")
+        c.admit(ds("a"))
+        c.admit(ds("b"))
+        # equal frequency; a is older
+        c.admit(ds("c"))
+        assert "a" not in c and "b" in c
+
+
+class TestFIFO:
+    def test_evicts_oldest_admission_despite_recency(self):
+        c = Cache(30, "fifo")
+        c.admit(ds("a"))
+        c.admit(ds("b"))
+        c.admit(ds("c"))
+        c.lookup("a")            # recency does not save 'a' under FIFO
+        c.admit(ds("d"))
+        assert "a" not in c
+
+
+class TestLargest:
+    def test_evicts_biggest(self):
+        c = Cache(100, "largest")
+        c.admit(ds("small", 10))
+        c.admit(ds("huge", 80))
+        c.admit(ds("new", 50))   # must evict; huge goes first
+        assert "huge" not in c
+        assert "small" in c and "new" in c
+
+
+class TestInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        policy=st.sampled_from(["lru", "lfu", "fifo", "largest"]),
+        ops=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(1, 40)), min_size=1,
+            max_size=100,
+        ),
+    )
+    def test_capacity_never_exceeded(self, policy, ops):
+        c = Cache(100, policy)
+        for i, size in ops:
+            name = f"d{i}:{size}"
+            if not c.lookup(name):
+                c.admit(Dataset(name, size))
+            assert c.used_bytes <= c.capacity_bytes
+            assert c.used_bytes >= 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        policy=st.sampled_from(["lru", "lfu", "fifo", "largest"]),
+        ops=st.lists(st.integers(0, 9), min_size=1, max_size=200),
+    )
+    def test_accounting_consistent(self, policy, ops):
+        sizes = {i: (i + 1) * 7 % 37 + 1 for i in range(10)}
+        c = Cache(60, policy)
+        for i in ops:
+            c.admit(Dataset(f"d{i}", sizes[i]))
+        expected = sum(sizes[int(n[1:])] for n in c.resident)
+        assert c.used_bytes == expected
+        assert c.used_bytes <= c.capacity_bytes
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(st.integers(0, 4), min_size=1, max_size=100))
+    def test_small_working_set_eventually_all_hits(self, ops):
+        # 5 datasets of 10 bytes fit entirely in a 50-byte cache: after
+        # first admission, every lookup is a hit regardless of policy.
+        c = Cache(50, "lru")
+        seen = set()
+        for i in ops:
+            name = f"d{i}"
+            hit = c.lookup(name)
+            if name in seen:
+                assert hit
+            else:
+                c.admit(Dataset(name, 10))
+                seen.add(name)

@@ -1,0 +1,110 @@
+import pytest
+
+from repro.continuum import Link, Site, Tier, Topology
+from repro.datafabric import (
+    Cache,
+    Dataset,
+    ReplicaCatalog,
+    StagedReader,
+    TransferService,
+)
+from repro.errors import DataFabricError
+from repro.netsim import FlowNetwork
+from repro.simcore import Simulator
+
+
+def make_reader(cache_bytes=None, policy="lru"):
+    topo = Topology()
+    topo.add_site(Site("edge", Tier.EDGE))
+    topo.add_site(Site("cloud", Tier.CLOUD))
+    topo.add_link("edge", "cloud", Link(0.0, 100.0))
+    sim = Simulator()
+    net = FlowNetwork(sim, topo)
+    cat = ReplicaCatalog()
+    svc = TransferService(sim, net, cat)
+    reader = StagedReader(svc)
+    if cache_bytes is not None:
+        reader.attach_cache("edge", Cache(cache_bytes, policy))
+    return sim, net, cat, reader
+
+
+class TestReads:
+    def test_miss_pulls_bytes_then_hit_is_free(self):
+        sim, net, cat, reader = make_reader(cache_bytes=1000)
+        cat.register(Dataset("d", 100.0))
+        cat.add_replica("d", "cloud")
+
+        def body():
+            r1 = yield reader.read("d", "edge")
+            t1 = sim.now
+            r2 = yield reader.read("d", "edge")
+            return r1, t1, r2, sim.now
+
+        r1, t1, r2, t2 = sim.run_process(body())
+        assert not r1.cache_hit and r1.bytes_from_network == 100.0
+        assert t1 == pytest.approx(1.0)
+        assert r2.cache_hit and r2.bytes_from_network == 0.0
+        assert t2 == t1  # hit costs nothing
+
+    def test_read_without_cache_stages_each_time_but_replica_persists(self):
+        sim, net, cat, reader = make_reader(cache_bytes=None)
+        cat.register(Dataset("d", 100.0))
+        cat.add_replica("d", "cloud")
+
+        def body():
+            yield reader.read("d", "edge")
+            yield reader.read("d", "edge")
+
+        sim.run_process(body())
+        # second read found the catalog replica staged by the first
+        assert net.total_bytes_moved == 100.0
+
+    def test_eviction_drops_catalog_replica(self):
+        sim, net, cat, reader = make_reader(cache_bytes=150)
+        for name in ("a", "b"):
+            cat.register(Dataset(name, 100.0))
+            cat.add_replica(name, "cloud")
+
+        def body():
+            yield reader.read("a", "edge")
+            yield reader.read("b", "edge")  # evicts a
+
+        sim.run_process(body())
+        assert not cat.has_replica("a", "edge")
+        assert cat.has_replica("b", "edge")
+
+    def test_unknown_dataset_fails(self):
+        sim, net, cat, reader = make_reader()
+
+        def body():
+            yield reader.read("ghost", "edge")
+
+        with pytest.raises(DataFabricError):
+            sim.run_process(body())
+
+    def test_attach_cache_twice_rejected(self):
+        _, _, _, reader = make_reader(cache_bytes=10)
+        with pytest.raises(DataFabricError):
+            reader.attach_cache("edge", Cache(10))
+
+    def test_attach_cache_unknown_site_rejected(self):
+        _, _, _, reader = make_reader()
+        with pytest.raises(DataFabricError):
+            reader.attach_cache("mars", Cache(10))
+
+    def test_network_bytes_accounting(self):
+        sim, net, cat, reader = make_reader(cache_bytes=1000)
+        for name in ("a", "b"):
+            cat.register(Dataset(name, 50.0))
+            cat.add_replica(name, "cloud")
+
+        def body():
+            yield reader.read("a", "edge")
+            yield reader.read("b", "edge")
+            yield reader.read("a", "edge")  # hit
+
+        sim.run_process(body())
+        assert reader.network_bytes == 100.0
+        assert reader.reads == 3
+        cache = reader.cache_at("edge")
+        assert cache.hit_rate == pytest.approx(1 / 3)

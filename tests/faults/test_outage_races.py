@@ -1,0 +1,67 @@
+"""Races around outage instants.
+
+When a site dies, all of its tasks — running, queued for a slot, and
+staging — are interrupted *at the same simulated instant*. A released
+slot must not leak to a task that is itself about to be interrupted in a
+way that corrupts the resource's accounting. These tests pin that down.
+"""
+
+import pytest
+
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, TierStrategy
+from repro.faults import OutageSchedule, SiteOutage
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+class TestMassInterruptAtOneInstant:
+    def test_full_queue_outage_and_recovery(self):
+        """8 tasks on a 4-slot site: 4 running + 4 queued when the site
+        dies. All re-place after recovery; slot accounting survives."""
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("queued")
+        for i in range(8):
+            dag.add_task(TaskSpec(f"t{i}", work=10.0))
+        failures = OutageSchedule().add(SiteOutage("edge", 2.0, 3.0))
+        result = ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            dag, TierStrategy("edge"), failures=failures, task_retries=5
+        )
+        assert result.task_count == 8
+        # only the 4 running tasks burned execution time (2 s each)
+        assert result.wasted_exec_s == pytest.approx(8.0)
+        assert result.interruptions == 8  # queued tasks interrupted too
+        # recovery at t=5: two fresh waves of 4 x 10 s
+        assert result.makespan == pytest.approx(25.0)
+        # every record is a clean post-recovery execution
+        for record in result.records.values():
+            assert record.exec_started >= 5.0
+            assert record.exec_time == pytest.approx(10.0)
+
+    def test_back_to_back_outages(self):
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("twice")
+        dag.add_task(TaskSpec("t", work=10.0))
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 1.0))   # recovery at 2
+        failures.add(SiteOutage("edge", 3.0, 1.0))   # recovery at 4
+        result = ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            dag, TierStrategy("edge"), failures=failures, task_retries=5
+        )
+        rec = result.records["t"]
+        assert rec.attempts == 3
+        # attempt 1: [0,1) wasted 1; attempt 2: [2,3) wasted 1;
+        # attempt 3: [4,14] completes
+        assert result.wasted_exec_s == pytest.approx(2.0)
+        assert result.makespan == pytest.approx(14.0)
+
+    def test_outage_of_idle_site_is_free(self):
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("idle")
+        dag.add_task(TaskSpec("t", work=1.0))
+        # cloud dies; work is on the edge
+        failures = OutageSchedule().add(SiteOutage("cloud", 0.1, 10.0))
+        result = ContinuumScheduler(topo).run(
+            dag, TierStrategy("edge"), failures=failures
+        )
+        assert result.interruptions == 0
+        assert result.makespan == pytest.approx(1.0)

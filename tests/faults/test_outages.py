@@ -1,0 +1,93 @@
+import pytest
+
+from repro.continuum import edge_cloud_pair, science_grid
+from repro.errors import ConfigurationError, TopologyError
+from repro.faults import LinkBrownout, OutageSchedule, SiteOutage, poisson_outages
+from repro.utils.rng import RngRegistry
+
+
+class TestSiteOutage:
+    def test_end_time(self):
+        o = SiteOutage("edge", 10.0, 5.0)
+        assert o.end_s == 15.0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(Exception):
+            SiteOutage("edge", 0.0, 0.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(Exception):
+            SiteOutage("edge", -1.0, 5.0)
+
+
+class TestLinkBrownout:
+    def test_factor_bounds(self):
+        LinkBrownout("a", "b", 0.0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            LinkBrownout("a", "b", 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            LinkBrownout("a", "b", 0.0, 1.0, 0.0)
+
+
+class TestOutageSchedule:
+    def test_add_and_filter(self):
+        sched = OutageSchedule()
+        sched.add(SiteOutage("a", 1.0, 1.0))
+        sched.add(SiteOutage("b", 0.0, 1.0))
+        sched.add(SiteOutage("a", 5.0, 1.0))
+        sched.add(LinkBrownout("a", "b", 0.0, 1.0, 0.5))
+        assert [o.start_s for o in sched.outages_for("a")] == [1.0, 5.0]
+        assert len(sched.link_brownouts) == 1
+        assert not sched.empty
+
+    def test_empty(self):
+        assert OutageSchedule().empty
+
+    def test_add_bad_event(self):
+        with pytest.raises(ConfigurationError):
+            OutageSchedule().add("not-an-event")
+
+    def test_validate_against_topology(self):
+        topo = edge_cloud_pair()
+        good = OutageSchedule().add(SiteOutage("edge", 0.0, 1.0))
+        good.validate_against(topo)
+        bad = OutageSchedule().add(SiteOutage("mars", 0.0, 1.0))
+        with pytest.raises(TopologyError):
+            bad.validate_against(topo)
+        bad_link = OutageSchedule().add(LinkBrownout("edge", "edge2", 0, 1, 0.5))
+        with pytest.raises(TopologyError):
+            bad_link.validate_against(topo)
+
+
+class TestPoissonOutages:
+    def test_deterministic(self):
+        topo = science_grid()
+        a = poisson_outages(topo, rate_per_site_per_s=0.01, horizon_s=1000,
+                            mean_duration_s=10, rngs=RngRegistry(4))
+        b = poisson_outages(topo, rate_per_site_per_s=0.01, horizon_s=1000,
+                            mean_duration_s=10, rngs=RngRegistry(4))
+        assert a.site_outages == b.site_outages
+
+    def test_outages_within_horizon_and_non_overlapping_per_site(self):
+        topo = science_grid()
+        sched = poisson_outages(topo, rate_per_site_per_s=0.02,
+                                horizon_s=500, mean_duration_s=20,
+                                rngs=RngRegistry(1))
+        assert sched.site_outages  # rate*horizon*sites = 50 expected
+        for site in topo.site_names:
+            outages = sched.outages_for(site)
+            for first, second in zip(outages, outages[1:]):
+                assert second.start_s >= first.end_s
+
+    def test_site_subset(self):
+        topo = science_grid()
+        sched = poisson_outages(topo, rate_per_site_per_s=0.05,
+                                horizon_s=500, mean_duration_s=5,
+                                sites=["cloud"], rngs=RngRegistry(2))
+        assert {o.site for o in sched.site_outages} == {"cloud"}
+
+    def test_unknown_site_rejected(self):
+        topo = science_grid()
+        with pytest.raises(TopologyError):
+            poisson_outages(topo, rate_per_site_per_s=0.1, horizon_s=10,
+                            mean_duration_s=1, sites=["mars"])

@@ -1,0 +1,197 @@
+"""Failure injection through the continuum scheduler."""
+
+import pytest
+
+from repro.continuum import Link, Site, Tier, Topology, edge_cloud_pair
+from repro.core import ContinuumScheduler, GreedyEFTStrategy, TierStrategy
+from repro.datafabric import Dataset
+from repro.errors import SchedulingError
+from repro.faults import LinkBrownout, OutageSchedule, SiteOutage
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+def one_task_dag(work=10.0, pinned=None):
+    dag = WorkflowDAG("faulty")
+    dag.add_task(TaskSpec("t", work=work, pinned_site=pinned))
+    return dag
+
+
+class TestSiteOutageHandling:
+    def test_outage_interrupts_and_replaces(self):
+        """Task starts on the (faster) cloud; cloud dies mid-execution;
+        task restarts at the edge and completes."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        failures = OutageSchedule().add(SiteOutage("cloud", 0.5, 1000.0))
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(work=8.0), GreedyEFTStrategy(), failures=failures
+        )
+        rec = result.records["t"]
+        assert rec.site == "edge"
+        assert rec.attempts == 2
+        assert result.interruptions == 1
+        # 0.5 s wasted on the cloud, then 8 s on the edge from t=0.5
+        assert result.wasted_exec_s == pytest.approx(0.5)
+        assert result.makespan == pytest.approx(8.5)
+
+    def test_recovered_site_reusable(self):
+        """Outage ends before work exists; everything runs normally."""
+        topo = edge_cloud_pair(cloud_speed=8.0)
+        failures = OutageSchedule().add(SiteOutage("cloud", 0.1, 0.2))
+        dag = WorkflowDAG("later")
+        dag.add_task(TaskSpec("a", 8.0, outputs=(Dataset("x", 1.0),)))
+        dag.add_task(TaskSpec("b", 8.0, inputs=("x",)))
+        result = ContinuumScheduler(topo).run(dag, GreedyEFTStrategy(),
+                                              failures=failures)
+        # 'a' (placed at t=0 on cloud) is interrupted at 0.1; after
+        # recovery at 0.3 the replacement may use cloud again
+        assert result.records["b"].site == "cloud"
+        assert result.task_count == 2
+
+    def test_retries_exhausted_fails_run(self):
+        topo = edge_cloud_pair()
+        # edge dies repeatedly; cloud is never a candidate
+        failures = OutageSchedule()
+        for k in range(5):
+            failures.add(SiteOutage("edge", 0.5 + 2.0 * k, 1.0))
+        sched = ContinuumScheduler(topo, candidate_sites=["edge"])
+        with pytest.raises(SchedulingError, match="failed during run") as info:
+            sched.run(one_task_dag(work=100.0), TierStrategy("edge"),
+                      failures=failures, task_retries=2)
+        assert "interrupted" in str(info.value.__cause__)
+
+    def test_all_sites_down_defers_dispatch(self):
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=1.0)
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 10.0))
+        failures.add(SiteOutage("cloud", 1.0, 10.0))
+        dag = WorkflowDAG("deferred")
+        dag.add_task(TaskSpec("a", 1.0, outputs=(Dataset("x", 1.0),)))
+        dag.add_task(TaskSpec("b", 4.0, inputs=("x",), after=("a",)))
+        # 'a' finishes at t=1... interrupted exactly at t=1? events at the
+        # same instant fire in schedule order; keep 'a' shorter.
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(), failures=failures, task_retries=5
+        )
+        rec_b = result.records["b"]
+        # b could not start before recovery at t=11
+        assert rec_b.exec_finished >= 11.0
+
+    def test_pinned_task_waits_for_its_site(self):
+        topo = edge_cloud_pair()
+        failures = OutageSchedule().add(SiteOutage("edge", 0.0, 5.0))
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(work=1.0, pinned="edge"), GreedyEFTStrategy(),
+            failures=failures, task_retries=5,
+        )
+        rec = result.records["t"]
+        assert rec.site == "edge"
+        assert rec.exec_started >= 5.0
+
+    def test_interrupted_while_staging_does_not_waste_exec(self):
+        topo = edge_cloud_pair(bandwidth_Bps=100.0, latency_s=0.0)
+        dag = WorkflowDAG("staging")
+        dag.add_task(TaskSpec("t", 1.0, inputs=("raw",)))
+        failures = OutageSchedule().add(SiteOutage("cloud", 0.5, 100.0))
+        result = ContinuumScheduler(topo).run(
+            dag, TierStrategy("cloud"),
+            external_inputs=[(Dataset("raw", 1000.0), "edge")],
+            failures=failures, task_retries=3,
+        )
+        # interrupted during the 10 s staging: no execution time wasted
+        assert result.wasted_exec_s == 0.0
+        assert result.interruptions >= 1
+        # re-placed on cloud after recovery (edge not in cloud-only? no:
+        # TierStrategy(cloud) re-picks cloud once it is back)
+        assert result.records["t"].site == "cloud"
+
+    def test_failure_accounting_deterministic(self):
+        topo = edge_cloud_pair()
+        failures = OutageSchedule().add(SiteOutage("cloud", 0.5, 2.0))
+
+        def run():
+            result = ContinuumScheduler(topo, seed=3).run(
+                one_task_dag(work=8.0), GreedyEFTStrategy(),
+                failures=failures,
+            )
+            return (result.makespan, result.interruptions,
+                    result.wasted_exec_s)
+
+        assert run() == run()
+
+
+class TestBrownoutHandling:
+    def test_brownout_slows_transfer_then_recovers(self):
+        topo = edge_cloud_pair(bandwidth_Bps=100.0, latency_s=0.0)
+        dag = WorkflowDAG("xfer")
+        dag.add_task(TaskSpec("t", 0.0, inputs=("raw",), pinned_site="cloud"))
+        # 10x slowdown during [0, 5): 5 s at 10 B/s = 50 B, then
+        # 150 B at 100 B/s = 1.5 s -> staging ends at 6.5
+        failures = OutageSchedule().add(
+            LinkBrownout("edge", "cloud", 0.0, 5.0, 0.1)
+        )
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(),
+            external_inputs=[(Dataset("raw", 200.0), "edge")],
+            failures=failures,
+        )
+        assert result.records["t"].stage_time == pytest.approx(6.5)
+
+    def test_no_brownout_baseline(self):
+        topo = edge_cloud_pair(bandwidth_Bps=100.0, latency_s=0.0)
+        dag = WorkflowDAG("xfer")
+        dag.add_task(TaskSpec("t", 0.0, inputs=("raw",), pinned_site="cloud"))
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(),
+            external_inputs=[(Dataset("raw", 200.0), "edge")],
+        )
+        assert result.records["t"].stage_time == pytest.approx(2.0)
+
+    def test_nested_brownouts_compose(self):
+        from repro.netsim import FlowNetwork
+        from repro.simcore import Simulator
+
+        topo = edge_cloud_pair(bandwidth_Bps=1000.0)
+        sim = Simulator()
+        net = FlowNetwork(sim, topo)
+        net.set_link_bandwidth("edge", "cloud", 1000.0 * 0.5)
+        net.set_link_bandwidth("edge", "cloud",
+                               net.link_bandwidth("edge", "cloud") * 0.5)
+        assert net.link_bandwidth("edge", "cloud") == pytest.approx(250.0)
+        net.set_link_bandwidth("edge", "cloud",
+                               net.link_bandwidth("edge", "cloud") / 0.5)
+        assert net.link_bandwidth("edge", "cloud") == pytest.approx(500.0)
+
+
+class TestLiveBandwidthChange:
+    def test_inflight_flow_rescheduled(self):
+        from repro.netsim import FlowNetwork
+        from repro.simcore import Simulator
+
+        topo = edge_cloud_pair(bandwidth_Bps=100.0, latency_s=0.0)
+        sim = Simulator()
+        net = FlowNetwork(sim, topo)
+        done = {}
+
+        def xfer():
+            yield net.transfer("edge", "cloud", 200.0)
+            done["t"] = sim.now
+
+        def degrade():
+            yield sim.timeout(1.0)
+            net.set_link_bandwidth("edge", "cloud", 10.0)
+
+        sim.process(xfer())
+        sim.process(degrade())
+        sim.run()
+        # 100 B in the first second, then 100 B at 10 B/s
+        assert done["t"] == pytest.approx(11.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        from repro.netsim import FlowNetwork
+        from repro.simcore import Simulator
+
+        net = FlowNetwork(Simulator(), edge_cloud_pair())
+        with pytest.raises(Exception):
+            net.set_link_bandwidth("edge", "cloud", 0.0)
+        with pytest.raises(Exception):
+            net.set_link_bandwidth("edge", "mars", 10.0)

@@ -1,0 +1,76 @@
+"""Coarse performance-regression guards.
+
+The E3 scalability work (see EXPERIMENTS.md) fixed two accidental
+quadratics: an O(n²) consumer scan in DAG construction and per-event
+full reallocation in the flow network. These tests pin generous wall
+bounds so a reintroduced quadratic fails CI loudly instead of
+resurfacing as a mysteriously slow benchmark suite. Bounds are ~10x the
+observed times on a modest machine — they catch complexity blowups, not
+jitter.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.e02_strategies import place_externals
+from repro.continuum import geo_random_continuum
+from repro.core import ContinuumScheduler, HEFTStrategy
+from repro.workflow import WorkflowDAG
+from repro.workloads import layered_random_dag
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+class TestConstructionScaling:
+    def test_dag_construction_is_near_linear(self):
+        def build(n):
+            # best-of-3: single runs at millisecond scale are too noisy
+            # to ratio-test against
+            walls = []
+            for _ in range(3):
+                _, wall = timed(
+                    lambda: layered_random_dag(n, n_levels=6, seed=1)
+                )
+                walls.append(wall)
+            return min(walls)
+
+        small = max(build(200), 1e-3)
+        large = build(800)
+        # 4x tasks: linear is 4x, the old quadratic was ~16x; allow 10x
+        assert large / small < 10.0, (
+            f"DAG construction degraded: 200 tasks {small:.4f}s, "
+            f"800 tasks {large:.4f}s"
+        )
+
+    def test_500_task_schedule_under_wall_bound(self):
+        topo = geo_random_continuum(20, seed=0)
+        dag, externals = layered_random_dag(500, n_levels=6, seed=0)
+        sched = ContinuumScheduler(topo, seed=0)
+        _, wall = timed(lambda: sched.run(
+            dag, HEFTStrategy(),
+            external_inputs=place_externals(topo, externals),
+        ))
+        # observed ~0.3 s; 10x headroom for slow CI machines
+        assert wall < 3.0, f"500-task schedule took {wall:.2f}s"
+
+    def test_wide_fan_in_dag_builds_quickly(self):
+        """1000 consumers of one dataset: the consumer index must make
+        this linear (the old scan was O(n^2) in exactly this shape)."""
+        from repro.datafabric import Dataset
+        from repro.workflow import TaskSpec
+
+        def build():
+            dag = WorkflowDAG("fanin")
+            dag.add_task(TaskSpec("src", 1.0, outputs=(Dataset("hub", 1.0),)))
+            for i in range(1000):
+                dag.add_task(TaskSpec(f"c{i}", 1.0, inputs=("hub",)))
+            return dag
+
+        dag, wall = timed(build)
+        assert len(dag) == 1001
+        assert wall < 1.0, f"fan-in construction took {wall:.2f}s"

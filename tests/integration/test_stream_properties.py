@@ -1,0 +1,108 @@
+"""Property-based invariants of the online stream scheduler."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.continuum import edge_cloud_pair, geo_random_continuum
+from repro.core import ContinuumScheduler, GreedyEFTStrategy, TierStrategy
+from repro.core.scheduler import StreamJob
+from repro.datafabric import Dataset
+from repro.workflow import TaskSpec, WorkflowDAG
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_jobs(spec, site_names):
+    """spec: list of (arrival, work, n_tasks)."""
+    jobs = []
+    for idx, (arrival, work, n_tasks) in enumerate(spec):
+        dag = WorkflowDAG(f"sj{idx}")
+        externals = []
+        for t in range(n_tasks):
+            raw = Dataset(f"sj{idx}-raw{t}", 100.0)
+            externals.append((raw, site_names[(idx + t) % len(site_names)]))
+            dag.add_task(TaskSpec(f"sj{idx}-t{t}", work, inputs=(raw.name,)))
+        jobs.append(StreamJob(arrival, dag, tuple(externals)))
+    return jobs
+
+
+@st.composite
+def stream_scenario(draw):
+    n_jobs = draw(st.integers(1, 8))
+    spec = [
+        (
+            draw(st.floats(0.0, 50.0)),
+            draw(st.floats(0.1, 10.0)),
+            draw(st.integers(1, 3)),
+        )
+        for _ in range(n_jobs)
+    ]
+    seed = draw(st.integers(0, 1000))
+    return spec, seed
+
+
+class TestStreamProperties:
+    @SETTINGS
+    @given(stream_scenario())
+    def test_every_job_completes_after_arrival(self, scenario):
+        spec, seed = scenario
+        topo = geo_random_continuum(5, seed=seed)
+        jobs = make_jobs(spec, topo.site_names)
+        stream = ContinuumScheduler(topo, seed=seed).run_stream(
+            jobs, GreedyEFTStrategy()
+        )
+        assert len(stream.jobs) == len(spec)
+        for job in stream.jobs:
+            assert job.finished_s >= job.arrival_s
+            assert job.response_time >= 0
+
+    @SETTINGS
+    @given(stream_scenario())
+    def test_no_task_starts_before_its_job_arrives(self, scenario):
+        spec, seed = scenario
+        topo = geo_random_continuum(5, seed=seed)
+        jobs = make_jobs(spec, topo.site_names)
+        stream = ContinuumScheduler(topo, seed=seed).run_stream(
+            jobs, GreedyEFTStrategy()
+        )
+        arrival_of = {}
+        for idx, job in enumerate(jobs):
+            for name in job.dag.task_names:
+                arrival_of[name] = job.arrival_s
+        for name, record in stream.records.items():
+            assert record.stage_started >= arrival_of[name] - 1e-9
+
+    @SETTINGS
+    @given(stream_scenario())
+    def test_response_at_least_best_service_time(self, scenario):
+        spec, seed = scenario
+        topo = geo_random_continuum(5, seed=seed)
+        fastest = max(s.speed for s in topo.sites)
+        jobs = make_jobs(spec, topo.site_names)
+        stream = ContinuumScheduler(topo, seed=seed).run_stream(
+            jobs, GreedyEFTStrategy()
+        )
+        by_name = {job.dag.name: job for job in jobs}
+        for job in stream.jobs:   # run_stream sorts by arrival: match by name
+            # all tasks of a job are independent: response >= the
+            # largest single task's ideal service time
+            works = [t.work for t in by_name[job.name].dag.tasks]
+            assert job.response_time >= max(works) / fastest - 1e-9
+
+    @SETTINGS
+    @given(st.integers(2, 10), st.integers(0, 500))
+    def test_serial_arrivals_equal_isolated_runs(self, n_jobs, seed):
+        """Jobs spaced far apart behave as if run alone."""
+        topo = edge_cloud_pair(latency_s=0.0)
+        spec = [(1000.0 * i, 4.0, 1) for i in range(n_jobs)]
+        jobs = make_jobs(spec, ["edge"])
+        stream = ContinuumScheduler(topo, seed=seed).run_stream(
+            jobs, TierStrategy("edge")
+        )
+        for job in stream.jobs:
+            assert job.response_time == pytest.approx(4.0)

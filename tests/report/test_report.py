@@ -1,0 +1,103 @@
+import pytest
+
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, GreedyEFTStrategy, TierStrategy
+from repro.datafabric import Dataset
+from repro.report import (
+    ascii_gantt,
+    dag_to_dot,
+    dag_to_mermaid,
+    placement_summary,
+    utilization_table,
+)
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+def small_dag():
+    dag = WorkflowDAG("viz")
+    dag.add_task(TaskSpec("extract", 2.0, outputs=(Dataset("raw-x", 100.0),)))
+    dag.add_task(TaskSpec("train", 8.0, kind="training", inputs=("raw-x",),
+                          outputs=(Dataset("model", 10.0),)))
+    dag.add_task(TaskSpec("eval", 1.0, inputs=("model",)))
+    return dag
+
+
+def run_small(strategy=None):
+    return ContinuumScheduler(edge_cloud_pair()).run(
+        small_dag(), strategy or GreedyEFTStrategy()
+    )
+
+
+class TestDot:
+    def test_structure(self):
+        dot = dag_to_dot(small_dag())
+        assert dot.startswith('digraph "viz"')
+        assert "extract -> train" in dot
+        assert "train -> eval" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_labels_include_work_and_kind(self):
+        dot = dag_to_dot(small_dag())
+        assert "work=8" in dot
+        assert "kind=training" in dot
+
+    def test_dataset_mode_shows_ellipses(self):
+        dot = dag_to_dot(small_dag(), include_datasets=True)
+        assert "shape=ellipse" in dot
+        assert "raw_x" in dot  # sanitized name
+
+    def test_control_edges_dashed_in_dataset_mode(self):
+        dag = WorkflowDAG("ctl")
+        dag.add_task(TaskSpec("a", 1.0))
+        dag.add_task(TaskSpec("b", 1.0, after=("a",)))
+        dot = dag_to_dot(dag, include_datasets=True)
+        assert "style=dashed" in dot
+
+    def test_special_characters_sanitized(self):
+        dag = WorkflowDAG("weird")
+        dag.add_task(TaskSpec("task-1.0", 1.0))
+        dot = dag_to_dot(dag)
+        assert "task_1_0" in dot
+
+
+class TestMermaid:
+    def test_structure(self):
+        text = dag_to_mermaid(small_dag())
+        assert text.startswith("graph LR")
+        assert "extract --> train" in text
+        assert 'extract["extract (2)"]' in text
+
+
+class TestGantt:
+    def test_contains_sites_and_tasks(self):
+        result = run_small()
+        gantt = ascii_gantt(result)
+        assert "Gantt: viz" in gantt
+        # every used site has a lane
+        for site in {r.site for r in result.records.values()}:
+            assert f"{site} |" in gantt or f"{site.rjust(5)} |" in gantt
+
+    def test_empty_schedule(self):
+        from repro.core.placement import ScheduleResult
+
+        empty = ScheduleResult("w", "s", 0.0, {}, [], 0, 0, 0, 0)
+        assert ascii_gantt(empty) == "(empty schedule)"
+
+    def test_width_respected(self):
+        gantt = ascii_gantt(run_small(), width=40)
+        lanes = [l for l in gantt.splitlines() if "|" in l]
+        assert all(len(l) <= 60 for l in lanes)
+
+
+class TestTables:
+    def test_utilization_rows(self):
+        result = run_small(TierStrategy("edge"))
+        table = utilization_table(result)
+        assert "edge" in table and "cloud" in table
+        assert "busy_over_makespan" in table
+
+    def test_placement_summary(self):
+        result = run_small(TierStrategy("edge"))
+        text = placement_summary(result)
+        assert "3 tasks" in text
+        assert "edge:" in text

@@ -1,0 +1,107 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.simcore import Monitor, Simulator, Timeout
+
+
+class TestSeries:
+    def test_record_with_explicit_time(self):
+        mon = Monitor()
+        mon.record("queue", 3.0, time=1.0)
+        mon.record("queue", 5.0, time=2.0)
+        np.testing.assert_array_equal(mon.times("queue"), [1.0, 2.0])
+        np.testing.assert_array_equal(mon.values("queue"), [3.0, 5.0])
+
+    def test_record_uses_sim_clock(self):
+        sim = Simulator()
+        mon = Monitor(sim)
+
+        def body():
+            yield Timeout(4.0)
+            mon.record("x", 1.0)
+
+        sim.run_process(body())
+        assert mon.times("x")[0] == 4.0
+
+    def test_unknown_series_empty(self):
+        mon = Monitor()
+        assert mon.values("nope").size == 0
+
+    def test_series_names_sorted(self):
+        mon = Monitor()
+        mon.record("b", 1, time=0)
+        mon.record("a", 1, time=0)
+        assert mon.series_names() == ["a", "b"]
+
+    def test_summary(self):
+        mon = Monitor()
+        for i in range(10):
+            mon.record("s", float(i), time=float(i))
+        s = mon.summary("s")
+        assert s.count == 10
+        assert s.mean == pytest.approx(4.5)
+
+
+class TestTimeAverage:
+    def test_constant_level(self):
+        mon = Monitor()
+        mon.record("level", 2.0, time=0.0)
+        assert mon.time_average("level", horizon=10.0) == pytest.approx(2.0)
+
+    def test_step_function(self):
+        mon = Monitor()
+        mon.record("level", 0.0, time=0.0)
+        mon.record("level", 4.0, time=5.0)
+        # 0 for [0,5), 4 for [5,10) => average 2
+        assert mon.time_average("level", horizon=10.0) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(Monitor().time_average("x"))
+
+    def test_single_sample_no_horizon(self):
+        mon = Monitor()
+        mon.record("level", 7.0, time=3.0)
+        assert mon.time_average("level") == 7.0
+
+
+class TestCountersAndTrace:
+    def test_counters_accumulate(self):
+        mon = Monitor()
+        mon.count("tasks")
+        mon.count("tasks", 2)
+        assert mon.counters["tasks"] == 3
+
+    def test_trace_records(self):
+        sim = Simulator()
+        mon = Monitor(sim)
+        mon.log("task_start", "t1", site="edge-0")
+        assert len(mon.trace) == 1
+        rec = mon.trace[0]
+        assert rec.kind == "task_start"
+        assert rec.subject == "t1"
+        assert rec.detail == {"site": "edge-0"}
+
+    def test_trace_disabled(self):
+        mon = Monitor()
+        mon.trace_enabled = False
+        mon.log("k", "s")
+        assert mon.trace == []
+
+    def test_events_of_filters(self):
+        mon = Monitor()
+        mon.log("a", "1")
+        mon.log("b", "2")
+        mon.log("a", "3")
+        assert [r.subject for r in mon.events_of("a")] == ["1", "3"]
+
+    def test_clear(self):
+        mon = Monitor()
+        mon.record("x", 1, time=0)
+        mon.count("c")
+        mon.log("k", "s")
+        mon.clear()
+        assert mon.series_names() == []
+        assert mon.counters == {}
+        assert mon.trace == []

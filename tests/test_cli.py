@@ -1,0 +1,78 @@
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_describe_preset(self, capsys):
+        assert main(["topology", "science-grid"]) == 0
+        out = capsys.readouterr().out
+        assert "science-grid" in out
+        assert "instrument" in out and "hpc-center" in out
+
+    def test_save_and_reload(self, tmp_path, capsys):
+        path = str(tmp_path / "grid.json")
+        assert main(["topology", "science-grid", "--save", path]) == 0
+        capsys.readouterr()
+        assert main(["topology", path]) == 0
+        out = capsys.readouterr().out
+        assert "5 sites" in out
+
+    def test_unknown_file_errors(self, tmp_path, capsys):
+        assert main(["topology", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDagCommand:
+    def test_dot_output(self, capsys):
+        assert main(["dag", "beamline"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "beamline-aggregate" in out
+
+    def test_mermaid_output(self, capsys):
+        assert main(["dag", "climate", "--format", "mermaid"]) == 0
+        assert capsys.readouterr().out.startswith("graph LR")
+
+    def test_dataset_mode(self, capsys):
+        assert main(["dag", "montage", "--datasets"]) == 0
+        assert "ellipse" in capsys.readouterr().out
+
+
+class TestWorkloadFiles:
+    def test_save_then_schedule_from_file(self, tmp_path, capsys):
+        path = str(tmp_path / "wl.json")
+        assert main(["dag", "stencil", "--save", path]) == 0
+        capsys.readouterr()
+        assert main(["schedule", "--dag", path,
+                     "--topology", "smart-city"]) == 0
+        out = capsys.readouterr().out
+        assert "'stencil'" in out and "makespan" in out
+
+    def test_schedule_missing_dag_file(self, tmp_path, capsys):
+        assert main(["schedule", "--dag", str(tmp_path / "x.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestScheduleCommand:
+    def test_default_run(self, capsys):
+        assert main(["schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "Gantt" in out
+        assert "Utilization" in out
+
+    def test_strategy_and_workload_selection(self, capsys):
+        assert main(["schedule", "--workload", "climate",
+                     "--strategy", "greedy-eft",
+                     "--topology", "hierarchical"]) == 0
+        out = capsys.readouterr().out
+        assert "'climate'" in out and "'greedy-eft'" in out
+
+    def test_unknown_strategy_errors(self, capsys):
+        assert main(["schedule", "--strategy", "warp-drive"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err
+
+    def test_adaptive_strategy_available(self, capsys):
+        assert main(["schedule", "--strategy", "adaptive-ucb"]) == 0

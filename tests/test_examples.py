@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example must run cleanly.
+
+Examples are deliverables, not decorations — they exercise the public
+API end-to-end, so a breaking change that misses unit coverage usually
+trips here first.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_expected_examples_present():
+    names = {os.path.splitext(f)[0] for f in EXAMPLES}
+    assert {
+        "quickstart",
+        "beamline_streaming",
+        "edge_video_analytics",
+        "climate_portfolio",
+        "adaptive_placement",
+        "continuum_operations",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = os.path.join(EXAMPLES_DIR, script)
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+class TestExampleOutputs:
+    def run(self, name, capsys, monkeypatch):
+        path = os.path.join(EXAMPLES_DIR, name)
+        monkeypatch.setattr(sys, "argv", [path])
+        runpy.run_path(path, run_name="__main__")
+        return capsys.readouterr().out
+
+    def test_quickstart_answers_both_questions(self, capsys, monkeypatch):
+        out = self.run("quickstart.py", capsys, monkeypatch)
+        assert "offload to cloud" in out or "stay at edge" in out
+        assert "sum of squares 0..9 = 285" in out
+
+    def test_adaptive_recovers(self, capsys, monkeypatch):
+        out = self.run("adaptive_placement.py", capsys, monkeypatch)
+        assert "post-shift mean" in out
+
+    def test_operations_day_reports(self, capsys, monkeypatch):
+        out = self.run("continuum_operations.py", capsys, monkeypatch)
+        assert "Gantt" in out
+        assert "jobs finished" in out

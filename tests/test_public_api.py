@@ -1,0 +1,68 @@
+"""Public-API hygiene: exports resolve, carry docstrings, and the
+version is consistent. Cheap tests that catch broken ``__all__`` lists
+and silent re-export drift as the package grows."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.utils",
+    "repro.simcore",
+    "repro.continuum",
+    "repro.netsim",
+    "repro.datafabric",
+    "repro.faas",
+    "repro.workflow",
+    "repro.core",
+    "repro.faults",
+    "repro.workloads",
+    "repro.report",
+    "repro.bench",
+]
+
+
+class TestTopLevel:
+    def test_version_matches_pyproject(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as handle:
+            meta = tomllib.load(handle)
+        assert repro.__version__ == meta["project"]["version"]
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_imports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_all_resolves_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        exports = getattr(module, "__all__", None)
+        if exports is None:
+            pytest.skip("no __all__")
+        for name in exports:
+            obj = getattr(module, name, None)
+            assert obj is not None, f"{module_name}.{name} missing"
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (inspect.isclass(obj) and issubclass(obj, Exception)
+                    and obj is not errors.ContinuumError
+                    and obj.__module__ == "repro.errors"):
+                assert issubclass(obj, errors.ContinuumError), name

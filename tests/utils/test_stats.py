@@ -1,0 +1,104 @@
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import RunningStats, percentile, summarize
+
+
+class TestRunningStats:
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.count == 0
+        assert math.isnan(rs.mean)
+        assert math.isnan(rs.variance)
+
+    def test_single_value(self):
+        rs = RunningStats()
+        rs.add(3.0)
+        assert rs.mean == 3.0
+        assert rs.min == 3.0 and rs.max == 3.0
+        assert math.isnan(rs.variance)
+
+    def test_matches_numpy(self):
+        data = [1.5, 2.5, -3.0, 4.0, 0.0, 10.0]
+        rs = RunningStats()
+        rs.extend(data)
+        assert rs.mean == pytest.approx(np.mean(data))
+        assert rs.variance == pytest.approx(np.var(data, ddof=1))
+        assert rs.std == pytest.approx(np.std(data, ddof=1))
+        assert rs.min == min(data) and rs.max == max(data)
+
+    def test_merge_matches_single_pass(self):
+        a_data = [1.0, 2.0, 3.0]
+        b_data = [10.0, 20.0]
+        a, b = RunningStats(), RunningStats()
+        a.extend(a_data)
+        b.extend(b_data)
+        merged = a.merge(b)
+        assert merged.count == 5
+        assert merged.mean == pytest.approx(np.mean(a_data + b_data))
+        assert merged.variance == pytest.approx(np.var(a_data + b_data, ddof=1))
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        merged = a.merge(RunningStats())
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.5)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_property_matches_numpy(self, data):
+        rs = RunningStats()
+        rs.extend(data)
+        assert rs.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-6)
+        assert rs.variance == pytest.approx(np.var(data, ddof=1), rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+    )
+    def test_property_merge_equals_concat(self, xs, ys):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_basic(self):
+        s = summarize(range(1, 101))
+        assert s.count == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.min == 1 and s.max == 100
+        assert s.p50 == pytest.approx(50.5)
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_percentiles_ordered(self):
+        s = summarize(np.random.default_rng(0).random(500))
+        assert s.min <= s.p50 <= s.p95 <= s.p99 <= s.max

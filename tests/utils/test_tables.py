@@ -1,0 +1,55 @@
+from repro.utils.tables import ascii_table, format_row
+
+
+class TestAsciiTable:
+    def test_empty(self):
+        assert "(no rows)" in ascii_table([])
+
+    def test_dict_rows(self):
+        out = ascii_table([{"name": "a", "x": 1.5}, {"name": "b", "x": 2.0}])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "x" in lines[0]
+        assert "a" in lines[2]
+
+    def test_sequence_rows_default_headers(self):
+        out = ascii_table([[1, 2], [3, 4]])
+        assert "col0" in out and "col1" in out
+
+    def test_title(self):
+        out = ascii_table([{"a": 1}], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_explicit_header_order(self):
+        out = ascii_table([{"b": 2, "a": 1}], headers=["a", "b"])
+        header = out.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_keys_blank(self):
+        out = ascii_table([{"a": 1}, {"a": 2, "b": 3}], headers=["a", "b"])
+        assert "3" in out
+
+    def test_nan_rendered_as_dash(self):
+        out = ascii_table([{"x": float("nan")}])
+        assert "-" in out.splitlines()[-1]
+
+    def test_bool_rendering(self):
+        out = ascii_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_scientific_for_extremes(self):
+        out = ascii_table([{"x": 1.23e-9}])
+        assert "e-09" in out
+
+    def test_columns_aligned(self):
+        out = ascii_table([{"name": "long-name", "v": 1}, {"name": "s", "v": 22}])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines[0:1] + lines[2:]}) == 1
+
+
+class TestFormatRow:
+    def test_numbers_right_aligned(self):
+        row = format_row([1.0, "x"], [8, 8])
+        cells = row.strip("|").split("|")
+        assert cells[0].rstrip() != cells[0]  # leading spaces => right aligned
+        assert cells[1].lstrip() != cells[1] or cells[1].startswith(" x")

@@ -1,0 +1,101 @@
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import units
+
+
+class TestConstants:
+    def test_size_constants_are_decimal(self):
+        assert units.KB == 1e3
+        assert units.MB == 1e6
+        assert units.GB == 1e9
+        assert units.TB == 1e12
+
+    def test_bandwidth_constants_are_bytes_per_second(self):
+        # 1 Gbps = 125 MB/s
+        assert units.Gbps == pytest.approx(125e6)
+        assert units.Mbps == pytest.approx(125e3)
+        assert units.Tbps == pytest.approx(125e9)
+
+    def test_time_constants(self):
+        assert units.MINUTE == 60.0
+        assert units.HOUR == 3600.0
+        assert units.MILLISECOND == 1e-3
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_gigabytes(self):
+        assert units.format_bytes(2.5e9) == "2.50 GB"
+
+    def test_terabytes(self):
+        assert units.format_bytes(3e12) == "3.00 TB"
+
+    def test_negative(self):
+        assert units.format_bytes(-2e6) == "-2.00 MB"
+
+    def test_zero(self):
+        assert units.format_bytes(0) == "0 B"
+
+
+class TestFormatRate:
+    def test_gbps(self):
+        assert units.format_rate(10 * units.Gbps) == "10.00 Gbps"
+
+    def test_slow(self):
+        assert units.format_rate(10) == "80 bps"
+
+
+class TestFormatTime:
+    def test_milliseconds(self):
+        assert units.format_time(0.0042) == "4.200 ms"
+
+    def test_seconds(self):
+        assert units.format_time(12.5) == "12.500 s"
+
+    def test_minutes(self):
+        assert units.format_time(90) == "1.50 min"
+
+    def test_hours(self):
+        assert units.format_time(7200) == "2.00 h"
+
+    def test_microseconds(self):
+        assert units.format_time(2e-6) == "2.000 us"
+
+    def test_negative(self):
+        assert units.format_time(-0.5).startswith("-")
+
+
+class TestParseSize:
+    def test_passthrough_numeric(self):
+        assert units.parse_size(1024) == 1024.0
+        assert units.parse_size(1.5) == 1.5
+
+    def test_decimal_units(self):
+        assert units.parse_size("1.5 GB") == pytest.approx(1.5e9)
+        assert units.parse_size("200MB") == pytest.approx(2e8)
+
+    def test_binary_units(self):
+        assert units.parse_size("1 GiB") == pytest.approx(2**30)
+
+    def test_bare_number_string(self):
+        assert units.parse_size("42") == 42.0
+
+    def test_case_insensitive(self):
+        assert units.parse_size("1gb") == pytest.approx(1e9)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ConfigurationError):
+            units.parse_size("5 parsecs")
+
+    def test_no_number_raises(self):
+        with pytest.raises(ConfigurationError):
+            units.parse_size("GB")
+
+    def test_roundtrip_with_format(self):
+        n = 2.5e9
+        assert units.parse_size(units.format_bytes(n)) == pytest.approx(n)

@@ -1,0 +1,286 @@
+import threading
+import time
+
+import pytest
+
+from repro.errors import TaskFailedError, WorkflowError
+from repro.workflow import DataFlowKernel, SerialExecutor, ThreadExecutor
+
+
+def add(a, b):
+    return a + b
+
+
+def fail():
+    raise ValueError("boom")
+
+
+class TestBasicSubmission:
+    def test_simple_result(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            fut = dfk.submit(add, 1, 2)
+            assert fut.result() == 3
+            assert dfk.tasks_completed == 1
+
+    def test_kwargs(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            assert dfk.submit(add, a=10, b=20).result() == 30
+
+    def test_non_callable_rejected(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            with pytest.raises(WorkflowError):
+                dfk.submit(42)
+
+    def test_submit_after_shutdown(self):
+        dfk = DataFlowKernel(SerialExecutor())
+        dfk.shutdown()
+        with pytest.raises(WorkflowError):
+            dfk.submit(add, 1, 2)
+
+    def test_exception_propagates(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            fut = dfk.submit(fail)
+            with pytest.raises(ValueError, match="boom"):
+                fut.result()
+            assert dfk.tasks_failed == 1
+
+    def test_task_ids_increment(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            f1 = dfk.submit(add, 1, 1)
+            f2 = dfk.submit(add, 2, 2)
+            assert f2.task_id == f1.task_id + 1
+
+
+class TestDataflowDependencies:
+    def test_future_argument_substituted(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            a = dfk.submit(add, 1, 2)
+            b = dfk.submit(add, a, 10)
+            assert b.result() == 13
+
+    def test_diamond(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            root = dfk.submit(add, 1, 1)        # 2
+            left = dfk.submit(add, root, 1)     # 3
+            right = dfk.submit(add, root, 2)    # 4
+            join = dfk.submit(add, left, right)  # 7
+            assert join.result() == 7
+
+    def test_futures_inside_list_argument(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            parts = [dfk.submit(add, i, i) for i in range(4)]
+            total = dfk.submit(lambda xs: sum(xs), parts)
+            assert total.result() == 12
+
+    def test_failed_dependency_fails_dependent(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            bad = dfk.submit(fail)
+            child = dfk.submit(add, bad, 1)
+            with pytest.raises(TaskFailedError):
+                child.result()
+
+    def test_dependency_across_threads(self):
+        with DataFlowKernel(ThreadExecutor(max_workers=4)) as dfk:
+            def slow(x):
+                time.sleep(0.02)
+                return x * 2
+
+            a = dfk.submit(slow, 5)
+            b = dfk.submit(add, a, 1)
+            assert b.result(timeout=5) == 11
+
+    def test_wide_fanin_threads(self):
+        with DataFlowKernel(ThreadExecutor(max_workers=8)) as dfk:
+            leaves = [dfk.submit(add, i, 0) for i in range(20)]
+            total = dfk.submit(lambda xs: sum(xs), leaves)
+            assert total.result(timeout=10) == sum(range(20))
+
+    def test_wait_all(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            futures = [dfk.submit(add, i, 1) for i in range(5)]
+            assert dfk.wait_all(futures) == [1, 2, 3, 4, 5]
+
+
+class TestRetries:
+    def test_retries_eventually_succeed(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        with DataFlowKernel(SerialExecutor(), retries=5) as dfk:
+            fut = dfk.submit(flaky)
+            assert fut.result() == "ok"
+            assert fut.tries == 3
+
+    def test_retries_exhausted(self):
+        with DataFlowKernel(SerialExecutor(), retries=2) as dfk:
+            fut = dfk.submit(fail)
+            with pytest.raises(ValueError):
+                fut.result()
+            assert fut.tries == 3  # 1 + 2 retries
+
+    def test_per_task_retries_override(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise RuntimeError
+
+        with DataFlowKernel(SerialExecutor(), retries=0) as dfk:
+            fut = dfk.submit(flaky, retries=4)
+            with pytest.raises(RuntimeError):
+                fut.result()
+            assert calls["n"] == 5
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(WorkflowError):
+            DataFlowKernel(SerialExecutor(), retries=-1)
+
+
+class TestMemoization:
+    def test_repeat_call_served_from_memo(self):
+        calls = {"n": 0}
+
+        def counted(x):
+            calls["n"] += 1
+            return x * 2
+
+        with DataFlowKernel(SerialExecutor(), memoize=True) as dfk:
+            r1 = dfk.submit(counted, 7)
+            r2 = dfk.submit(counted, 7)
+            assert r1.result() == r2.result() == 14
+            assert calls["n"] == 1
+            assert r2.from_memo and not r1.from_memo
+            assert dfk.tasks_memoized == 1
+
+    def test_different_args_not_shared(self):
+        calls = {"n": 0}
+
+        def counted(x):
+            calls["n"] += 1
+            return x
+
+        with DataFlowKernel(SerialExecutor(), memoize=True) as dfk:
+            dfk.submit(counted, 1).result()
+            dfk.submit(counted, 2).result()
+            assert calls["n"] == 2
+
+    def test_failures_not_memoized(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError
+            return "ok"
+
+        with DataFlowKernel(SerialExecutor(), memoize=True) as dfk:
+            with pytest.raises(RuntimeError):
+                dfk.submit(flaky).result()
+            assert dfk.submit(flaky).result() == "ok"
+            assert calls["n"] == 2
+
+    def test_memoization_off_by_default(self):
+        calls = {"n": 0}
+
+        def counted():
+            calls["n"] += 1
+            return 1
+
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            dfk.submit(counted).result()
+            dfk.submit(counted).result()
+            assert calls["n"] == 2
+
+
+class TestCheckpointing:
+    def test_results_survive_kernel_restart(self, tmp_path):
+        path = str(tmp_path / "wf.ckpt")
+        calls = {"n": 0}
+
+        def expensive(x):
+            calls["n"] += 1
+            return x * 10
+
+        with DataFlowKernel(SerialExecutor(), memoize=True,
+                            checkpoint_path=path) as dfk:
+            assert dfk.submit(expensive, 4).result() == 40
+            dfk.checkpoint()
+
+        with DataFlowKernel(SerialExecutor(), memoize=True,
+                            checkpoint_path=path) as dfk2:
+            fut = dfk2.submit(expensive, 4)
+            assert fut.result() == 40
+            assert fut.from_memo
+        assert calls["n"] == 1
+
+    def test_checkpoint_without_path_rejected(self):
+        with DataFlowKernel(SerialExecutor(), memoize=True) as dfk:
+            with pytest.raises(WorkflowError):
+                dfk.checkpoint()
+
+
+class TestAppDecorator:
+    def test_decorator_submits(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            @dfk.app()
+            def double(x):
+                return 2 * x
+
+            assert double(21).result() == 42
+
+    def test_decorated_apps_compose(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            @dfk.app()
+            def inc(x):
+                return x + 1
+
+            assert inc(inc(inc(0))).result() == 3
+
+    def test_decorator_without_parens(self):
+        with DataFlowKernel(SerialExecutor()) as dfk:
+            @dfk.app
+            def triple(x):
+                return 3 * x
+
+            assert triple(5).result() == 15
+
+
+class TestConcurrencyStress:
+    def test_many_tasks_thread_pool(self):
+        with DataFlowKernel(ThreadExecutor(max_workers=8)) as dfk:
+            futures = [dfk.submit(add, i, i) for i in range(200)]
+            results = dfk.wait_all(futures, timeout=30)
+            assert results == [2 * i for i in range(200)]
+            assert dfk.tasks_completed == 200
+
+    def test_chain_of_dependencies_threads(self):
+        with DataFlowKernel(ThreadExecutor(max_workers=2)) as dfk:
+            fut = dfk.submit(add, 0, 1)
+            for _ in range(50):
+                fut = dfk.submit(add, fut, 1)
+            assert fut.result(timeout=30) == 51
+
+    def test_thread_safety_of_counters(self):
+        with DataFlowKernel(ThreadExecutor(max_workers=8)) as dfk:
+            barrier = threading.Barrier(4)
+
+            def submit_batch():
+                barrier.wait()
+                return [dfk.submit(add, i, 1) for i in range(50)]
+
+            pools = []
+            threads = [threading.Thread(target=lambda: pools.append(submit_batch()))
+                       for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            all_futures = [f for pool in pools for f in pool]
+            dfk.wait_all(all_futures, timeout=30)
+            assert dfk.tasks_submitted == 200
+            assert dfk.tasks_completed == 200

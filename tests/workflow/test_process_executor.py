@@ -1,0 +1,70 @@
+import os
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow import DataFlowKernel, ProcessExecutor
+
+
+def square(x):
+    return x * x
+
+
+def worker_pid():
+    return os.getpid()
+
+
+def boom():
+    raise ValueError("child failure")
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One pool for the module: process startup is expensive."""
+    ex = ProcessExecutor(max_workers=2)
+    yield ex
+    ex.shutdown()
+
+
+class TestProcessExecutor:
+    def test_result_roundtrip(self, pool):
+        assert pool.submit(square, 7).result(timeout=30) == 49
+
+    def test_runs_in_other_process(self, pool):
+        child = pool.submit(worker_pid).result(timeout=30)
+        assert child != os.getpid()
+
+    def test_exception_propagates(self, pool):
+        fut = pool.submit(boom)
+        with pytest.raises(ValueError, match="child failure"):
+            fut.result(timeout=30)
+
+    def test_counters(self):
+        ex = ProcessExecutor(max_workers=1)
+        try:
+            futures = [ex.submit(square, i) for i in range(5)]
+            for f in futures:
+                f.result(timeout=30)
+            assert ex.tasks_submitted == 5
+            assert ex.tasks_completed == 5
+        finally:
+            ex.shutdown()
+
+    def test_bad_worker_count(self):
+        with pytest.raises(WorkflowError):
+            ProcessExecutor(max_workers=0)
+
+    def test_submit_after_shutdown(self):
+        ex = ProcessExecutor(max_workers=1)
+        ex.shutdown()
+        with pytest.raises(WorkflowError):
+            ex.submit(square, 1)
+
+
+class TestWithDataFlowKernel:
+    def test_dataflow_dependencies_across_processes(self, pool):
+        dfk = DataFlowKernel(pool)
+        a = dfk.submit(square, 3)       # 9
+        b = dfk.submit(square, a)       # 81
+        assert b.result(timeout=30) == 81
+        # do not shut down: pool is module-scoped

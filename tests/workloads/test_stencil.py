@@ -1,0 +1,71 @@
+import pytest
+
+from repro.continuum import science_grid
+from repro.core import ContinuumScheduler, DataGravityStrategy, GreedyEFTStrategy
+from repro.errors import WorkflowError
+from repro.workloads import stencil_dag
+
+
+class TestStencilShape:
+    def test_task_and_external_counts(self):
+        dag, externals = stencil_dag(4, 3)
+        assert len(dag) == 12          # partitions x iterations
+        assert len(externals) == 4     # initial states
+
+    def test_halo_dependencies(self):
+        dag, _ = stencil_dag(3, 2)
+        # interior partition reads itself + both neighbours
+        deps = dag.dependencies("stencil-k2p1")
+        assert deps == ["stencil-k1p0", "stencil-k1p1", "stencil-k1p2"]
+        # boundary partition has only one neighbour
+        deps_edge = dag.dependencies("stencil-k2p0")
+        assert deps_edge == ["stencil-k1p0", "stencil-k1p1"]
+
+    def test_first_iteration_reads_externals(self):
+        dag, externals = stencil_dag(2, 1)
+        names = {d.name for d in externals}
+        for task in dag.tasks:
+            assert set(task.inputs) <= names
+
+    def test_critical_path_spans_iterations(self):
+        dag, _ = stencil_dag(3, 5, work_per_step=2.0)
+        length, path = dag.critical_path()
+        assert length == pytest.approx(10.0)   # 5 iterations x 2
+        assert len(path) == 5
+
+    def test_levels_are_iterations(self):
+        dag, _ = stencil_dag(4, 3)
+        levels = dag.levels()
+        assert [len(level) for level in levels] == [4, 4, 4]
+
+    def test_single_partition_chain(self):
+        dag, _ = stencil_dag(1, 4)
+        assert dag.edge_count == 3
+
+    def test_invalid(self):
+        with pytest.raises(WorkflowError):
+            stencil_dag(0, 1)
+        with pytest.raises(WorkflowError):
+            stencil_dag(1, 0)
+
+
+class TestStencilScheduling:
+    def test_runs_on_science_grid(self):
+        dag, externals = stencil_dag(4, 3)
+        topo = science_grid()
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(),
+            external_inputs=[(d, "beamline-edge") for d in externals],
+        )
+        assert result.task_count == 12
+
+    def test_colocated_iterations_move_no_halo_bytes(self):
+        """Data-gravity keeps the whole stencil at one site: after the
+        initial states, halos never cross the network."""
+        dag, externals = stencil_dag(3, 4)
+        topo = science_grid()
+        result = ContinuumScheduler(topo).run(
+            dag, DataGravityStrategy(),
+            external_inputs=[(d, "beamline-edge") for d in externals],
+        )
+        assert result.bytes_moved == 0.0

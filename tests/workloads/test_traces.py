@@ -1,0 +1,56 @@
+import pytest
+
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, TierStrategy
+from repro.datafabric import Dataset
+from repro.errors import ConfigurationError
+from repro.workflow import TaskSpec, WorkflowDAG
+from repro.workloads import load_rows, result_rows, save_rows
+
+
+def run_small():
+    dag = WorkflowDAG("small")
+    dag.add_task(TaskSpec("t0", 4.0, inputs=("raw",)))
+    dag.add_task(TaskSpec("t1", 4.0, inputs=("raw",)))
+    sched = ContinuumScheduler(edge_cloud_pair())
+    return sched.run(dag, TierStrategy("edge"),
+                     external_inputs=[(Dataset("raw", 10.0), "edge")])
+
+
+class TestResultRows:
+    def test_one_row_per_task_sorted(self):
+        rows = result_rows(run_small())
+        assert [r["task"] for r in rows] == ["t0", "t1"]
+        assert all(r["site"] == "edge" for r in rows)
+
+    def test_fields_present(self):
+        row = result_rows(run_small())[0]
+        for field in ("task", "site", "kind", "exec_time", "bytes_staged",
+                      "met_deadline"):
+            assert field in row
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        rows = result_rows(run_small())
+        path = str(tmp_path / "nested" / "trace.json")
+        save_rows(path, rows, meta={"experiment": "E2"})
+        loaded, meta = load_rows(path)
+        assert loaded == rows
+        assert meta == {"experiment": "E2"}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_rows(str(tmp_path / "nope.json"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_rows(str(path))
+
+    def test_bad_structure(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_rows(str(path))
