@@ -109,3 +109,84 @@ def test_placement_estimates_20_sites(benchmark):
 
     finishes = benchmark(evaluate_all)
     assert len(finishes) == 20
+
+
+def _churn_network(n_flows, bursty, n_sites=30, seed=7):
+    """Drive a FlowNetwork through ``n_flows`` overlapping transfers.
+
+    ``bursty=False`` staggers arrivals (every arrival/departure triggers
+    a reallocation over all concurrent flows); ``bursty=True`` releases
+    them in same-instant groups of 8 (the ``AllOf`` staging shape that
+    same-timestamp coalescing collapses to one solve per group).
+    """
+    from repro.netsim import FlowNetwork
+
+    topo = geo_random_continuum(n_sites, seed=seed)
+    names = topo.site_names
+    rng = np.random.default_rng(42)
+    pairs = []
+    while len(pairs) < n_flows:
+        a, b = rng.choice(len(names), size=2, replace=False)
+        pairs.append((names[a], names[b]))
+    for a, b in pairs:  # warm routes: measure the solver, not Dijkstra
+        topo.path_info(a, b)
+
+    def run():
+        sim = Simulator()
+        net = FlowNetwork(sim, topo)
+        for i, (a, b) in enumerate(pairs):
+            start = 0.001 * (i // 8) if bursty else 0.001 * i
+            sim.schedule(start, lambda a=a, b=b: net.transfer(a, b, 5e7))
+        sim.run()
+        assert net.active_flow_count == 0
+        return net
+
+    return run
+
+
+def test_reallocate_200_concurrent_flows(benchmark):
+    """Flow-arrival churn: every stagger step re-solves fairness over up
+    to 200 concurrent flows against the persistent incidence matrix."""
+    net = benchmark(_churn_network(200, bursty=False))
+    assert len(net.completed) == 200
+
+
+def test_reallocate_200_flows_bursty_arrivals(benchmark):
+    """Same churn with same-instant arrival bursts: coalescing must
+    collapse each burst to one deferred solve."""
+    net = benchmark(_churn_network(200, bursty=True))
+    assert len(net.completed) == 200
+
+
+def test_estimate_batch_100_sites(benchmark):
+    topo = geo_random_continuum(100, seed=2)
+    catalog = ReplicaCatalog()
+    for i in range(4):
+        catalog.register(Dataset(f"d{i}", 1e8))
+        catalog.add_replica(f"d{i}", topo.site_names[i])
+    ctx = SchedulingContext(topo, catalog)
+    task = TaskSpec("t", 10.0, inputs=("d0", "d1", "d2", "d3"))
+    sites = ctx.candidates
+
+    finishes = benchmark(
+        lambda: ctx.estimate_finish_batch(task, sites)[1]
+    )
+    assert len(finishes) == 100
+
+
+def test_estimate_scalar_100_sites(benchmark):
+    """Scalar baseline for the batch benchmark above — the per-site
+    Python loop estimate_batch replaces in strategy ranking."""
+    topo = geo_random_continuum(100, seed=2)
+    catalog = ReplicaCatalog()
+    for i in range(4):
+        catalog.register(Dataset(f"d{i}", 1e8))
+        catalog.add_replica(f"d{i}", topo.site_names[i])
+    ctx = SchedulingContext(topo, catalog)
+    task = TaskSpec("t", 10.0, inputs=("d0", "d1", "d2", "d3"))
+
+    def evaluate_all():
+        return [ctx.estimate_finish(task, site)[1] for site in ctx.candidates]
+
+    finishes = benchmark(evaluate_all)
+    assert len(finishes) == 100

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 import networkx as nx
+import numpy as np
 
 from repro.continuum.link import Link
 from repro.continuum.site import Site
@@ -59,6 +60,29 @@ class Topology:
         self.graph = nx.Graph()
         self._sites: dict[str, Site] = {}
         self._path_cache: dict[tuple[str, str], PathInfo] = {}
+        # all-pairs path-property matrices (see path_rows); rebuilt lazily
+        # after any mutation, rows filled on demand
+        self._site_index: dict[str, int] | None = None
+        self._lat_matrix: np.ndarray | None = None
+        self._bw_matrix: np.ndarray | None = None
+        self._usd_matrix: np.ndarray | None = None
+        self._row_filled: np.ndarray | None = None
+        self._routes_epoch = 0
+
+    def _invalidate_routes(self) -> None:
+        self._path_cache.clear()
+        self._site_index = None
+        self._lat_matrix = None
+        self._bw_matrix = None
+        self._usd_matrix = None
+        self._row_filled = None
+        self._routes_epoch += 1
+
+    @property
+    def routes_epoch(self) -> int:
+        """Monotone counter bumped on every mutation — lets cost models
+        cache :attr:`site_index`-derived arrays safely."""
+        return self._routes_epoch
 
     # -- construction -----------------------------------------------------------
     def add_site(self, site: Site) -> Site:
@@ -66,7 +90,7 @@ class Topology:
             raise TopologyError(f"duplicate site name {site.name!r}")
         self._sites[site.name] = site
         self.graph.add_node(site.name)
-        self._path_cache.clear()
+        self._invalidate_routes()
         return site
 
     def add_link(self, a: str, b: str, link: Link) -> Link:
@@ -78,7 +102,7 @@ class Topology:
         if self.graph.has_edge(a, b):
             raise TopologyError(f"duplicate link {a!r}--{b!r}")
         self.graph.add_edge(a, b, link=link, weight=link.latency_s)
-        self._path_cache.clear()
+        self._invalidate_routes()
         return link
 
     # -- lookup -------------------------------------------------------------------
@@ -134,17 +158,95 @@ class Topology:
                 hops = nx.shortest_path(self.graph, src, dst, weight="weight")
             except nx.NetworkXNoPath:
                 raise TopologyError(f"no route between {src!r} and {dst!r}") from None
-            latency = 0.0
-            bandwidth = math.inf
-            cost = 0.0
-            for a, b in zip(hops, hops[1:]):
-                link = self.graph.edges[a, b]["link"]
-                latency += link.latency_s
-                bandwidth = min(bandwidth, link.bandwidth_Bps)
-                cost += link.usd_per_gb
-            info = PathInfo(src, dst, tuple(hops), latency, bandwidth, cost)
+            info = self._compose(src, dst, hops)
         self._path_cache[key] = info
         return info
+
+    def _compose(self, src: str, dst: str, hops: list[str]) -> PathInfo:
+        """Fold per-link properties along ``hops`` into a PathInfo."""
+        latency = 0.0
+        bandwidth = math.inf
+        cost = 0.0
+        for a, b in zip(hops, hops[1:]):
+            link = self.graph.edges[a, b]["link"]
+            latency += link.latency_s
+            bandwidth = min(bandwidth, link.bandwidth_Bps)
+            cost += link.usd_per_gb
+        return PathInfo(src, dst, tuple(hops), latency, bandwidth, cost)
+
+    @property
+    def site_index(self) -> dict[str, int]:
+        """Stable site-name -> matrix-column mapping (declaration order).
+
+        Valid until the next topology mutation; shared by
+        :meth:`path_rows` and batch cost estimation.
+        """
+        if self._site_index is None:
+            self._site_index = {n: i for i, n in enumerate(self._sites)}
+        return self._site_index
+
+    def path_rows(self, src: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-destination ``(latency_s, bandwidth_Bps, usd_per_gb)``
+        arrays for routed paths out of ``src``, indexed by
+        :attr:`site_index`.
+
+        Rows are filled lazily (one single-source Dijkstra pass per
+        source) and the composed :class:`PathInfo` records are written
+        into the shared path cache — already-cached routes win — so the
+        scalar and batch APIs always agree. Rows are invalidated
+        together with the path cache on any mutation. The returned
+        arrays are read-only views into the all-pairs matrices.
+        Unreachable destinations appear as ``inf`` on all three axes
+        rather than raising, so vectorized rankings naturally never
+        select them.
+        """
+        index = self.site_index
+        try:
+            row = index[src]
+        except KeyError:
+            raise TopologyError(f"unknown site {src!r}") from None
+        if self._lat_matrix is None:
+            n = len(index)
+            self._lat_matrix = np.zeros((n, n))
+            self._bw_matrix = np.zeros((n, n))
+            self._usd_matrix = np.zeros((n, n))
+            self._row_filled = np.zeros(n, dtype=bool)
+            for m in (self._lat_matrix, self._bw_matrix, self._usd_matrix):
+                m.flags.writeable = False
+        if not self._row_filled[row]:
+            lat, bw, usd = self._lat_matrix, self._bw_matrix, self._usd_matrix
+            for m in (lat, bw, usd):
+                m.flags.writeable = True
+            # one single-source Dijkstra pass covers every destination;
+            # composed PathInfos are shared with the scalar path cache so
+            # the two APIs can never disagree on a route
+            cache = self._path_cache
+            _, sssp = nx.single_source_dijkstra(self.graph, src, weight="weight")
+            for dst, col in index.items():
+                info = cache.get((src, dst))
+                if info is None:
+                    if dst == src:
+                        info = PathInfo(src, dst, (src,), 0.0, math.inf, 0.0)
+                    else:
+                        hops = sssp.get(dst)
+                        if hops is None:  # unreachable: rank as infinitely far
+                            lat[row, col] = math.inf
+                            bw[row, col] = math.inf
+                            usd[row, col] = math.inf
+                            continue
+                        info = self._compose(src, dst, hops)
+                    cache[(src, dst)] = info
+                lat[row, col] = info.latency_s
+                bw[row, col] = info.bandwidth_Bps
+                usd[row, col] = info.usd_per_gb
+            for m in (lat, bw, usd):
+                m.flags.writeable = False
+            self._row_filled[row] = True
+        return (
+            self._lat_matrix[row],
+            self._bw_matrix[row],
+            self._usd_matrix[row],
+        )
 
     def validate(self) -> None:
         """Raise :class:`TopologyError` unless the topology is non-empty

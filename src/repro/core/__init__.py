@@ -13,7 +13,7 @@
   energy, and monetary accounting.
 """
 
-from repro.core.cost import CostModel, TaskEstimate
+from repro.core.cost import BatchEstimate, CostModel, TaskEstimate
 from repro.core.placement import PlacementDecision, TaskRecord, ScheduleResult
 from repro.core.analytic import (
     OffloadDecision,
@@ -58,6 +58,7 @@ from repro.core.strategies import (
 __all__ = [
     "CostModel",
     "TaskEstimate",
+    "BatchEstimate",
     "PlacementDecision",
     "TaskRecord",
     "ScheduleResult",

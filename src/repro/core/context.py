@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.continuum.site import Site
 from repro.continuum.topology import Topology
-from repro.core.cost import CostModel, TaskEstimate
+from repro.core.cost import BatchEstimate, CostModel, TaskEstimate
 from repro.datafabric.catalog import ReplicaCatalog
 from repro.errors import SchedulingError
 from repro.utils.rng import RngRegistry
@@ -41,6 +41,15 @@ class SchedulingContext:
         self._slots: dict[str, np.ndarray] = {
             s.name: np.zeros(s.slots) for s in self._all_candidates
         }
+        # maintained copy of each site's earliest-free slot time, so the
+        # hot est_available path is a dict lookup instead of a ufunc min
+        self._slot_min: dict[str, float] = {
+            s.name: 0.0 for s in self._all_candidates
+        }
+        # earliest-free vectors per candidate tuple for the batch path,
+        # invalidated whenever any reservation lands
+        self._avail_cache: dict[tuple[str, ...], tuple[int, np.ndarray]] = {}
+        self._avail_epoch = 0
         self._now = 0.0
 
     @property
@@ -75,16 +84,18 @@ class SchedulingContext:
     def est_available(self, site: str) -> float:
         """Earliest time a slot at ``site`` is expected to be free."""
         try:
-            slots = self._slots[site]
+            earliest = self._slot_min[site]
         except KeyError:
             raise SchedulingError(f"{site!r} is not a candidate site") from None
-        return max(float(slots.min()), self._now)
+        return max(earliest, self._now)
 
     def reserve(self, site: str, finish_time: float) -> None:
         """Record that the earliest slot at ``site`` is now believed busy
         until ``finish_time``."""
         slots = self._slots[site]
         slots[int(slots.argmin())] = finish_time
+        self._slot_min[site] = float(slots.min())
+        self._avail_epoch += 1
 
     def load_of(self, site: str) -> float:
         """Mean remaining busy time across slots (a load signal for
@@ -101,6 +112,32 @@ class SchedulingContext:
         ``max(now + stage, slot available)`` and runs for ``exec``."""
         est = self.cost.estimate(task, site)
         start = max(self._now + est.stage_time_s, self.est_available(site.name))
+        return est, start + est.exec_time_s
+
+    def estimate_finish_batch(
+        self, task: TaskSpec, sites: list[Site]
+    ) -> tuple[BatchEstimate, np.ndarray]:
+        """Vectorized :meth:`estimate_finish` over many sites: one
+        :class:`BatchEstimate` plus the per-site finish-time array, each
+        entry bit-identical to the scalar EFT rule."""
+        est = self.cost.estimate_batch(task, sites)
+        hit = self._avail_cache.get(est.sites)
+        if hit is not None and hit[0] == self._avail_epoch:
+            earliest = hit[1]
+        else:
+            try:
+                earliest = np.fromiter(
+                    (self._slot_min[s.name] for s in sites),
+                    dtype=float, count=len(sites),
+                )
+            except KeyError as exc:
+                raise SchedulingError(
+                    f"{exc.args[0]!r} is not a candidate site"
+                ) from None
+            self._avail_cache[est.sites] = (self._avail_epoch, earliest)
+        # max(slot_min, now) elementwise == scalar est_available
+        avail = np.maximum(earliest, self._now)
+        start = np.maximum(self._now + est.stage_time_s, avail)
         return est, start + est.exec_time_s
 
     def site(self, name: str) -> Site:

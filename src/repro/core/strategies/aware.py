@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.context import SchedulingContext
 from repro.core.strategies.base import PlacementStrategy
 from repro.core.strategies.greedy import earliest_finish_site
@@ -23,17 +25,18 @@ class LatencyAwareStrategy(PlacementStrategy):
     def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
         if task.deadline_s is None:
             return earliest_finish_site(task, ctx)
-        feasible = []  # (usd, energy, finish, name)
-        fallback = None  # (finish, name)
-        for site in ctx.candidates:
-            est, finish = ctx.estimate_finish(task, site)
-            if fallback is None or finish < fallback[0]:
-                fallback = (finish, site.name)
-            if finish <= task.deadline_s:
-                feasible.append((est.total_usd, est.energy_j, finish, site.name))
-        if feasible:
-            return min(feasible)[3]
-        return fallback[1]
+        sites = ctx.candidates
+        est, finish = ctx.estimate_finish_batch(task, sites)
+        idx = np.nonzero(finish <= task.deadline_s)[0]
+        if idx.size == 0:
+            return sites[int(finish.argmin())].name
+        # cheapest feasible site: lexicographic (usd, energy, finish,
+        # name) minimum, matching the scalar tuple-min over feasibles
+        names = np.array([sites[int(i)].name for i in idx])
+        order = np.lexsort(
+            (names, finish[idx], est.energy_j[idx], est.total_usd[idx])
+        )
+        return str(names[order[0]])
 
 
 class EnergyAwareStrategy(PlacementStrategy):
@@ -42,13 +45,10 @@ class EnergyAwareStrategy(PlacementStrategy):
     name = "energy-aware"
 
     def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
-        best = None  # ((energy, finish), name)
-        for site in ctx.candidates:
-            est, finish = ctx.estimate_finish(task, site)
-            key = (est.energy_j, finish)
-            if best is None or key < best[0]:
-                best = (key, site.name)
-        return best[1]
+        sites = ctx.candidates
+        est, finish = ctx.estimate_finish_batch(task, sites)
+        best = np.lexsort((finish, est.energy_j))[0]
+        return sites[int(best)].name
 
 
 class CostAwareStrategy(PlacementStrategy):
@@ -57,10 +57,7 @@ class CostAwareStrategy(PlacementStrategy):
     name = "cost-aware"
 
     def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
-        best = None  # ((usd, finish), name)
-        for site in ctx.candidates:
-            est, finish = ctx.estimate_finish(task, site)
-            key = (est.total_usd, finish)
-            if best is None or key < best[0]:
-                best = (key, site.name)
-        return best[1]
+        sites = ctx.candidates
+        est, finish = ctx.estimate_finish_batch(task, sites)
+        best = np.lexsort((finish, est.total_usd))[0]
+        return sites[int(best)].name

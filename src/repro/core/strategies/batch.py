@@ -23,9 +23,7 @@ from repro.workflow.task import TaskSpec
 
 
 def _best_finish(task: TaskSpec, ctx: SchedulingContext) -> float:
-    return min(
-        ctx.estimate_finish(task, site)[1] for site in ctx.candidates
-    )
+    return float(ctx.estimate_finish_batch(task, ctx.candidates)[1].min())
 
 
 class MinMinStrategy(PlacementStrategy):

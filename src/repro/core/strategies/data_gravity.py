@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.context import SchedulingContext
 from repro.core.strategies.base import PlacementStrategy
 from repro.workflow.task import TaskSpec
@@ -21,10 +23,9 @@ class DataGravityStrategy(PlacementStrategy):
     name = "data-gravity"
 
     def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
-        best = None  # (bytes, finish, name)
-        for site in ctx.candidates:
-            est, finish = ctx.estimate_finish(task, site)
-            key = (est.bytes_moved, finish)
-            if best is None or key < best[0]:
-                best = (key, site.name)
-        return best[1]
+        sites = ctx.candidates
+        est, finish = ctx.estimate_finish_batch(task, sites)
+        # lexicographic (bytes, finish) minimum; stable lexsort keeps the
+        # first candidate among exact ties, like the scalar tuple scan
+        best = np.lexsort((finish, est.bytes_moved))[0]
+        return sites[int(best)].name

@@ -22,13 +22,17 @@ from repro.workflow.task import TaskSpec
 
 
 def earliest_finish_site(task: TaskSpec, ctx: SchedulingContext) -> str:
-    """The EFT decision shared by several strategies."""
-    best_name, best_finish = None, None
-    for site in ctx.candidates:
-        _, finish = ctx.estimate_finish(task, site)
-        if best_finish is None or finish < best_finish:
-            best_name, best_finish = site.name, finish
-    return best_name
+    """The EFT decision shared by several strategies.
+
+    One vectorized finish-time pass over all candidates; ``argmin``
+    keeps the first minimum, matching the scalar first-wins scan this
+    replaced.
+    """
+    sites = ctx.candidates
+    if not sites:
+        return None
+    _, finish = ctx.estimate_finish_batch(task, sites)
+    return sites[int(finish.argmin())].name
 
 
 class GreedyEFTStrategy(PlacementStrategy):

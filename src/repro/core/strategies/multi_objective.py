@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.core.context import SchedulingContext
 from repro.core.strategies.base import PlacementStrategy
 from repro.errors import SchedulingError
@@ -36,26 +38,27 @@ class MultiObjectiveStrategy(PlacementStrategy):
         self.name = f"multi({label})"
 
     def select_site(self, task: TaskSpec, ctx: SchedulingContext) -> str:
-        rows = []
-        for site in ctx.candidates:
-            est, finish = ctx.estimate_finish(task, site)
-            rows.append(
-                (site.name,
-                 {"time": finish, "energy": est.energy_j,
-                  "usd": est.total_usd, "bytes": est.bytes_moved})
-            )
-        # min-max normalize each axis across candidates
-        scores: dict[str, float] = {name: 0.0 for name, _ in rows}
+        sites = ctx.candidates
+        est, finish = ctx.estimate_finish_batch(task, sites)
+        metrics = {
+            "time": finish,
+            "energy": est.energy_j,
+            "usd": est.total_usd,
+            "bytes": est.bytes_moved,
+        }
+        # min-max normalize each axis across candidates; accumulation
+        # follows self.weights order so scores match the scalar loop
+        # bit-for-bit, and argmin keeps the first minimum (the scalar
+        # declaration-order tie-break)
+        scores = np.zeros(len(sites))
         for axis, weight in self.weights.items():
-            values = [metrics[axis] for _, metrics in rows]
-            lo, hi = min(values), max(values)
-            span = hi - lo
-            for (name, metrics) in rows:
-                norm = 0.0 if span == 0 else (metrics[axis] - lo) / span
-                scores[name] += weight * norm
-        # deterministic tie-break: candidate declaration order
-        order = {s.name: i for i, s in enumerate(ctx.candidates)}
-        return min(scores, key=lambda n: (scores[n], order[n]))
+            values = metrics[axis]
+            lo = values.min()
+            span = values.max() - lo
+            if span == 0:
+                continue
+            scores += weight * ((values - lo) / span)
+        return sites[int(scores.argmin())].name
 
 
 def pareto_front(points: Sequence[Mapping[str, float]],

@@ -21,12 +21,19 @@ class ReplicaCatalog:
         self._datasets: dict[str, Dataset] = {}
         self._replicas: dict[str, dict[str, Replica]] = defaultdict(dict)
         self._version = 0
+        self._dataset_versions: dict[str, int] = defaultdict(int)
 
     @property
     def version(self) -> int:
         """Monotone counter bumped on every replica change — lets cost
         models cache nearest-source lookups safely."""
         return self._version
+
+    def dataset_version(self, name: str) -> int:
+        """Per-dataset replica-change counter: finer-grained than
+        :attr:`version`, so caches of one dataset's placement survive
+        other datasets being staged around the continuum."""
+        return self._dataset_versions[name]
 
     # -- datasets ---------------------------------------------------------------
     def register(self, dataset: Dataset) -> Dataset:
@@ -59,6 +66,7 @@ class ReplicaCatalog:
         replica = Replica(dataset, site, created_at=time)
         self._replicas[name][site] = replica
         self._version += 1
+        self._dataset_versions[name] += 1
         return replica
 
     def drop_replica(self, name: str, site: str) -> None:
@@ -66,6 +74,7 @@ class ReplicaCatalog:
         if self._replicas[name].pop(site, None) is None:
             raise DataFabricError(f"no replica of {name!r} at {site!r}")
         self._version += 1
+        self._dataset_versions[name] += 1
 
     def locations(self, name: str) -> list[str]:
         """Sites currently holding a replica (may be empty)."""

@@ -9,6 +9,16 @@ saturated link on which it receives a maximal share.
 :func:`equal_share_rates` is the naive alternative (each flow gets the
 minimum of its links' equal splits, computed once). It can strand
 capacity; it exists as the ablation baseline called out in DESIGN.md.
+
+All allocators accept the flow set in two forms:
+
+- a sequence of per-flow link-index lists (the original API, validated
+  and converted to an incidence matrix internally), or
+- a prebuilt ``(n_links, n_flows)`` 0/1 incidence matrix (numpy array).
+  This is the fast path used by :class:`~repro.netsim.network.FlowNetwork`,
+  which maintains a persistent incidence matrix across flow arrivals and
+  departures so a reallocation does zero per-event matrix construction.
+  Matrix entries are trusted to be 0/1 (only the shape is checked).
 """
 
 from __future__ import annotations
@@ -35,8 +45,27 @@ def _incidence(
     return A
 
 
+def _as_incidence(n_links: int, flow_links) -> np.ndarray:
+    """Accept either per-flow link lists or a prebuilt incidence matrix."""
+    if isinstance(flow_links, np.ndarray):
+        if flow_links.ndim != 2 or flow_links.shape[0] != n_links:
+            raise NetworkError(
+                f"incidence matrix shape {flow_links.shape} does not match "
+                f"{n_links} links"
+            )
+        return flow_links
+    return _incidence(n_links, flow_links)
+
+
+def _check_capacities(capacities) -> np.ndarray:
+    cap = np.asarray(capacities, dtype=float)
+    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
+        raise NetworkError("all link capacities must be positive and finite")
+    return cap
+
+
 def max_min_fair_rates(
-    capacities: Sequence[float], flow_links: Sequence[Sequence[int]]
+    capacities: Sequence[float], flow_links
 ) -> np.ndarray:
     """Max-min fair rates for flows over capacitated links.
 
@@ -45,8 +74,9 @@ def max_min_fair_rates(
     capacities:
         Per-link capacity (bytes/s), all positive.
     flow_links:
-        For each flow, the indices of the links it traverses. A flow
-        with no links (a local copy) gets infinite rate.
+        For each flow, the indices of the links it traverses — or a
+        prebuilt ``(n_links, n_flows)`` incidence matrix. A flow with no
+        links (a local copy) gets infinite rate.
 
     Returns
     -------
@@ -54,90 +84,110 @@ def max_min_fair_rates(
     property: each flow traverses at least one saturated link on which
     no other flow has a strictly larger rate.
     """
-    cap = np.asarray(capacities, dtype=float)
-    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
-        raise NetworkError("all link capacities must be positive and finite")
-    n_flows = len(flow_links)
+    cap = _check_capacities(capacities)
+    A = _as_incidence(len(cap), flow_links)
+    n_links, n_flows = A.shape
     rates = np.zeros(n_flows)
     if n_flows == 0:
         return rates
 
-    A = _incidence(len(cap), flow_links)
-    active = np.ones(n_flows, dtype=bool)
+    # ``active`` is kept as float 0/1 so per-level products need no
+    # dtype conversion; all link counts stay exact small integers in
+    # float64 and are maintained incrementally (counts -= level_counts
+    # equals a fresh A @ active exactly), which keeps the allocation
+    # bit-identical no matter how many flows have already been frozen.
+    active = np.ones(n_flows)
+    local = A.sum(axis=0) == 0.0
+    n_remaining = n_flows
+    if local.any():
+        rates[local] = math.inf
+        active[local] = 0.0
+        n_remaining -= int(local.sum())
 
-    # Local flows (no links) are unconstrained.
-    local = A.sum(axis=0) == 0
-    rates[local] = math.inf
-    active &= ~local
-
+    counts = A @ active
     remaining = cap.copy()
-    while active.any():
-        counts = A @ active
-        with np.errstate(divide="ignore", invalid="ignore"):
-            share = np.where(counts > 0, remaining / counts, math.inf)
-        l_star = int(np.argmin(share))
-        level = share[l_star]
-        newly = active & (A[l_star] > 0)
-        rates[newly] = level
-        remaining -= (A[:, newly].sum(axis=1)) * level
-        remaining = np.maximum(remaining, 0.0)
-        active &= ~newly
+    # A link with no active flows can never be a bottleneck again; its
+    # remaining capacity is patched to inf so the per-level division is
+    # a plain vectorized divide (x/0 -> inf, never 0/0 -> nan) instead
+    # of a masked one. Patched entries always yield share = inf, the
+    # same value a masked divide would produce.
+    remaining[counts == 0.0] = math.inf
+    share = np.empty(n_links)
+    scratch = np.empty(n_links)
+    with np.errstate(divide="ignore"):
+        while n_remaining > 0:
+            np.divide(remaining, counts, out=share)
+            l_star = int(share.argmin())
+            level = share[l_star]
+            # flows newly frozen at this level: active AND on the bottleneck
+            cols = np.nonzero(active * A[l_star])[0]
+            rates[cols] = level
+            level_counts = A[:, cols].sum(axis=1)
+            np.multiply(level_counts, level, out=scratch)
+            np.subtract(remaining, scratch, out=remaining)
+            np.maximum(remaining, 0.0, out=remaining)
+            active[cols] = 0.0
+            counts -= level_counts
+            remaining[counts == 0.0] = math.inf
+            n_remaining -= len(cols)
     return rates
 
 
 def weighted_max_min_rates(
     capacities: Sequence[float],
-    flow_links: Sequence[Sequence[int]],
+    flow_links,
     weights: Sequence[float],
 ) -> np.ndarray:
     """Weighted max-min fairness: flows receive bandwidth proportional
     to their weights at each bottleneck (water-filling on normalized
     rates). ``weights=ones`` reduces exactly to plain max-min.
 
+    Like :func:`max_min_fair_rates`, ``flow_links`` may be either
+    per-flow link lists or a prebuilt incidence matrix.
+
     The classic use: mark background traffic (replication, prefetch)
     with weight < 1 so it yields to foreground transfers while still
     soaking up otherwise-idle capacity.
     """
-    cap = np.asarray(capacities, dtype=float)
-    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
-        raise NetworkError("all link capacities must be positive and finite")
+    cap = _check_capacities(capacities)
+    A = _as_incidence(len(cap), flow_links)
+    n_flows = A.shape[1]
     w = np.asarray(weights, dtype=float)
-    if len(w) != len(flow_links):
+    if len(w) != n_flows:
         raise NetworkError(
-            f"{len(w)} weights for {len(flow_links)} flows"
+            f"{len(w)} weights for {n_flows} flows"
         )
     if np.any(w <= 0) or not np.all(np.isfinite(w)):
         raise NetworkError("all flow weights must be positive and finite")
-    n_flows = len(flow_links)
     rates = np.zeros(n_flows)
     if n_flows == 0:
         return rates
 
-    A = _incidence(len(cap), flow_links)
     active = np.ones(n_flows, dtype=bool)
     local = A.sum(axis=0) == 0
     rates[local] = math.inf
     active &= ~local
 
     remaining = cap.copy()
-    while active.any():
-        # per-link sum of active weights; the bottleneck is the link
-        # with the smallest capacity per unit weight
-        weight_load = A @ (active * w)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            level = np.where(weight_load > 0, remaining / weight_load, math.inf)
-        l_star = int(np.argmin(level))
-        fair_level = level[l_star]
-        newly = active & (A[l_star] > 0)
-        rates[newly] = fair_level * w[newly]
-        remaining -= A[:, newly] @ rates[newly]
-        remaining = np.maximum(remaining, 0.0)
-        active &= ~newly
+    with np.errstate(divide="ignore", invalid="ignore"):
+        while active.any():
+            # per-link sum of active weights; the bottleneck is the link
+            # with the smallest capacity per unit weight
+            weight_load = A @ (active * w)
+            level = np.where(weight_load > 0, remaining / weight_load,
+                             math.inf)
+            l_star = int(np.argmin(level))
+            fair_level = level[l_star]
+            newly = active & (A[l_star] > 0)
+            rates[newly] = fair_level * w[newly]
+            remaining -= A[:, newly] @ rates[newly]
+            remaining = np.maximum(remaining, 0.0)
+            active &= ~newly
     return rates
 
 
 def equal_share_rates(
-    capacities: Sequence[float], flow_links: Sequence[Sequence[int]]
+    capacities: Sequence[float], flow_links
 ) -> np.ndarray:
     """Single-pass equal-split baseline (ablation).
 
@@ -145,28 +195,31 @@ def equal_share_rates(
     Feasible but generally not Pareto-optimal: once a flow is limited by
     a remote bottleneck, its unused share elsewhere is wasted.
     """
-    cap = np.asarray(capacities, dtype=float)
-    if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
-        raise NetworkError("all link capacities must be positive and finite")
-    n_flows = len(flow_links)
+    cap = _check_capacities(capacities)
+    A = _as_incidence(len(cap), flow_links)
+    n_flows = A.shape[1]
     rates = np.full(n_flows, math.inf)
     if n_flows == 0:
         return rates
-    A = _incidence(len(cap), flow_links)
     counts = A.sum(axis=1)
-    for f, links in enumerate(flow_links):
-        for l in links:
-            rates[f] = min(rates[f], cap[l] / counts[l])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_link = np.where(counts > 0, cap / counts, math.inf)
+    # min over the links each flow traverses; flows with no links stay inf
+    on = A > 0
+    for f in range(n_flows):
+        links = np.nonzero(on[:, f])[0]
+        if links.size:
+            rates[f] = float(per_link[links].min())
     return rates
 
 
 def link_loads(
     n_links: int,
-    flow_links: Sequence[Sequence[int]],
+    flow_links,
     rates: Sequence[float],
 ) -> np.ndarray:
     """Aggregate per-link load implied by an allocation (for invariant
     checks: ``link_loads(...) <= capacities`` within tolerance)."""
-    A = _incidence(n_links, flow_links)
+    A = _as_incidence(n_links, flow_links)
     finite = np.where(np.isfinite(rates), rates, 0.0)
     return A @ np.asarray(finite, dtype=float)

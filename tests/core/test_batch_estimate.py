@@ -1,0 +1,236 @@
+"""Batch cost estimation must be a bit-exact vectorization.
+
+``CostModel.estimate_batch`` / ``SchedulingContext.estimate_finish_batch``
+exist so strategies can rank every candidate site in one numpy pass. The
+contract is equality, not closeness: every array entry equals the scalar
+estimate for the same (task, site) pair, and every strategy picks the
+same site it picked with the scalar loops — including on exact ties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continuum import Link, Site, Tier, Topology, geo_random_continuum
+from repro.core import SchedulingContext
+from repro.core.strategies import (
+    CostAwareStrategy,
+    DataGravityStrategy,
+    EnergyAwareStrategy,
+    GreedyEFTStrategy,
+    LatencyAwareStrategy,
+    MultiObjectiveStrategy,
+)
+from repro.continuum.power import PowerModel
+from repro.continuum.pricing import PricingModel
+from repro.datafabric import Dataset, ReplicaCatalog
+from repro.errors import DataFabricError, SchedulingError
+from repro.workflow.task import TaskSpec
+
+
+def make_context(n_sites=12, seed=3, n_datasets=6):
+    topo = geo_random_continuum(n_sites, seed=seed)
+    catalog = ReplicaCatalog()
+    rng = np.random.default_rng(seed)
+    names = topo.site_names
+    for i in range(n_datasets):
+        catalog.register(Dataset(f"d{i}", float(rng.uniform(1e6, 1e9))))
+        for site in rng.choice(names, size=int(rng.integers(1, 4)),
+                               replace=False):
+            catalog.add_replica(f"d{i}", str(site))
+    return SchedulingContext(topo, catalog)
+
+
+def some_tasks():
+    return [
+        TaskSpec("t-no-inputs", work=5.0),
+        TaskSpec("t-one", work=2.0, inputs=("d0",)),
+        TaskSpec("t-many", work=9.0, inputs=("d1", "d2", "d3")),
+        TaskSpec("t-kind", work=4.0, inputs=("d4", "d5"), kind="dnn"),
+    ]
+
+
+class TestEstimateBatchEquality:
+    def test_fields_bit_identical_to_scalar(self):
+        ctx = make_context()
+        sites = ctx.candidates
+        for task in some_tasks():
+            batch = ctx.cost.estimate_batch(task, sites)
+            assert batch.sites == tuple(s.name for s in sites)
+            for i, site in enumerate(sites):
+                scalar = ctx.cost.estimate(task, site)
+                assert batch.stage_time_s[i] == scalar.stage_time_s
+                assert batch.exec_time_s[i] == scalar.exec_time_s
+                assert batch.bytes_moved[i] == scalar.bytes_moved
+                assert batch.energy_j[i] == scalar.energy_j
+                assert batch.compute_usd[i] == scalar.compute_usd
+                assert batch.transfer_usd[i] == scalar.transfer_usd
+                assert batch.total_time_s[i] == scalar.total_time_s
+                assert batch.total_usd[i] == scalar.total_usd
+                assert batch.at(i) == scalar
+
+    def test_finish_batch_matches_scalar_eft(self):
+        ctx = make_context(seed=7)
+        sites = ctx.candidates
+        # skew slot availabilities so max(now+stage, avail) is exercised
+        for i, s in enumerate(sites):
+            ctx.reserve(s.name, 0.37 * i)
+        ctx.set_now(1.5)
+        task = TaskSpec("t", work=3.0, inputs=("d0", "d1"))
+        _, finish = ctx.estimate_finish_batch(task, sites)
+        for i, site in enumerate(sites):
+            _, scalar_finish = ctx.estimate_finish(task, site)
+            assert finish[i] == scalar_finish
+
+    def test_batch_reflects_replica_changes(self):
+        ctx = make_context(seed=11)
+        sites = ctx.candidates
+        task = TaskSpec("t", work=1.0, inputs=("d0",))
+        before = ctx.cost.estimate_batch(task, sites).bytes_moved.copy()
+        for s in sites:
+            ctx.catalog.add_replica("d0", s.name)
+        after = ctx.cost.estimate_batch(task, sites).bytes_moved
+        assert before.max() > 0.0
+        assert np.all(after == 0.0)
+
+    def test_no_replica_raises(self):
+        ctx = make_context()
+        ctx.catalog.register(Dataset("orphan", 1e6))
+        task = TaskSpec("t", work=1.0, inputs=("orphan",))
+        with pytest.raises(DataFabricError):
+            ctx.cost.estimate_batch(task, ctx.candidates)
+
+    def test_empty_site_list_rejected(self):
+        ctx = make_context()
+        with pytest.raises(SchedulingError):
+            ctx.cost.estimate_batch(TaskSpec("t", work=1.0), [])
+
+    def test_mean_exec_time_matches_scalar_sum(self):
+        ctx = make_context()
+        sites = ctx.candidates
+        for task in some_tasks():
+            expected = sum(
+                ctx.cost.exec_time(task, s) for s in sites
+            ) / len(sites)
+            assert ctx.cost.mean_exec_time(task, sites) == expected
+
+
+def _scalar_reference(strategy_name, task, ctx):
+    """The pre-vectorization scalar selection loops, kept verbatim as the
+    behavioral reference (including tie-break order)."""
+    if strategy_name == "greedy":
+        best_name, best_finish = None, None
+        for site in ctx.candidates:
+            _, finish = ctx.estimate_finish(task, site)
+            if best_finish is None or finish < best_finish:
+                best_name, best_finish = site.name, finish
+        return best_name
+    if strategy_name == "gravity":
+        best = None
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            key = (est.bytes_moved, finish)
+            if best is None or key < best[0]:
+                best = (key, site.name)
+        return best[1]
+    if strategy_name == "energy":
+        best = None
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            key = (est.energy_j, finish)
+            if best is None or key < best[0]:
+                best = (key, site.name)
+        return best[1]
+    if strategy_name == "cost":
+        best = None
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            key = (est.total_usd, finish)
+            if best is None or key < best[0]:
+                best = (key, site.name)
+        return best[1]
+    if strategy_name == "latency":
+        feasible, fallback = [], None
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            if fallback is None or finish < fallback[0]:
+                fallback = (finish, site.name)
+            if finish <= task.deadline_s:
+                feasible.append((est.total_usd, est.energy_j, finish, site.name))
+        if feasible:
+            return min(feasible)[3]
+        return fallback[1]
+    if strategy_name == "multi":
+        rows = []
+        weights = {"time": 0.5, "usd": 0.25, "bytes": 0.25}
+        for site in ctx.candidates:
+            est, finish = ctx.estimate_finish(task, site)
+            rows.append((site.name,
+                         {"time": finish, "energy": est.energy_j,
+                          "usd": est.total_usd, "bytes": est.bytes_moved}))
+        scores = {name: 0.0 for name, _ in rows}
+        for axis, weight in weights.items():
+            values = [m[axis] for _, m in rows]
+            lo, hi = min(values), max(values)
+            span = hi - lo
+            for name, m in rows:
+                norm = 0.0 if span == 0 else (m[axis] - lo) / span
+                scores[name] += weight * norm
+        order = {s.name: i for i, s in enumerate(ctx.candidates)}
+        return min(scores, key=lambda n: (scores[n], order[n]))
+    raise AssertionError(strategy_name)
+
+
+STRATEGY_CASES = [
+    ("greedy", GreedyEFTStrategy()),
+    ("gravity", DataGravityStrategy()),
+    ("energy", EnergyAwareStrategy()),
+    ("cost", CostAwareStrategy()),
+    ("latency", LatencyAwareStrategy()),
+    ("multi", MultiObjectiveStrategy(
+        {"time": 0.5, "usd": 0.25, "bytes": 0.25})),
+]
+
+
+class TestStrategiesMatchScalarReference:
+    @pytest.mark.parametrize("ref_name,strategy", STRATEGY_CASES)
+    def test_randomized_contexts(self, ref_name, strategy):
+        for seed in range(6):
+            ctx = make_context(n_sites=10, seed=seed)
+            for i, s in enumerate(ctx.candidates):
+                ctx.reserve(s.name, (seed + 1) * 0.21 * i)
+            deadline = 5.0 if ref_name == "latency" else None
+            tasks = [
+                TaskSpec("t0", work=2.0, inputs=("d0", "d3"),
+                         deadline_s=deadline),
+                TaskSpec("t1", work=7.0, inputs=("d1",),
+                         deadline_s=deadline),
+                TaskSpec("t2", work=1.0, deadline_s=deadline),
+            ]
+            for task in tasks:
+                assert (strategy.select_site(task, ctx)
+                        == _scalar_reference(ref_name, task, ctx))
+
+    @pytest.mark.parametrize("ref_name,strategy", STRATEGY_CASES)
+    def test_exact_ties_break_identically(self, ref_name, strategy):
+        """Identical sites and symmetric links produce exact float ties
+        on every axis; the vectorized pass must keep the scalar
+        first-wins (or name-order) winner."""
+        topo = Topology("ties")
+        hub = Site("hub", Tier.CLOUD, speed=4.0)
+        topo.add_site(hub)
+        clones = []
+        for i in range(4):
+            s = Site(f"clone{i}", Tier.FOG, speed=2.0,
+                     power=PowerModel(busy_watts=10.0),
+                     pricing=PricingModel(usd_per_core_hour=0.5))
+            topo.add_site(s)
+            topo.add_link("hub", s.name, Link(0.01, 1e8, usd_per_gb=0.02))
+            clones.append(s)
+        catalog = ReplicaCatalog()
+        catalog.register(Dataset("d0", 1e7))
+        catalog.add_replica("d0", "hub")
+        ctx = SchedulingContext(
+            topo, catalog, candidate_sites=[s.name for s in clones])
+        task = TaskSpec("t", work=3.0, inputs=("d0",), deadline_s=100.0)
+        assert (strategy.select_site(task, ctx)
+                == _scalar_reference(ref_name, task, ctx))

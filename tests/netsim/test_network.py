@@ -38,6 +38,9 @@ class TestSingleFlow:
         assert size == 100.0
 
     def test_zero_bytes_costs_latency_only(self):
+        # regression: an earlier version had a dead ternary here (both
+        # branches latency_s); the documented contract is that an empty
+        # message still pays exactly one path propagation latency
         sim = Simulator()
         net = FlowNetwork(sim, pair(latency=0.25, bandwidth=100.0))
 
@@ -46,6 +49,17 @@ class TestSingleFlow:
             return sim.now
 
         assert sim.run_process(body()) == pytest.approx(0.25)
+
+    def test_zero_bytes_multihop_pays_full_path_latency(self):
+        sim = Simulator()
+        net = FlowNetwork(sim, chain3(latency=0.1))
+
+        def body():
+            yield net.transfer("a", "c", 0.0)
+            return sim.now
+
+        # two hops of 0.1 s propagation, no serialization time
+        assert sim.run_process(body()) == pytest.approx(0.2)
 
     def test_local_transfer_instant(self):
         sim = Simulator()
@@ -163,6 +177,25 @@ class TestAccounting:
         assert net.total_bytes_moved == pytest.approx(100.0)
         assert len(net.completed) == 2
         assert net.monitor.counters["flows_completed"] == 2
+        # started/completed must balance once the network is quiescent
+        assert (net.monitor.counters["flows_started"]
+                == net.monitor.counters["flows_completed"])
+
+    def test_flow_counters_balance_on_fast_paths(self):
+        """Local and zero-byte transfers skip the shared allocation but
+        must still count as started, or the monitor's flow counters can
+        never balance."""
+        sim = Simulator()
+        net = FlowNetwork(sim, pair(latency=0.25, bandwidth=100.0))
+
+        def body():
+            yield net.transfer("a", "a", 1e9)     # local fast path
+            yield net.transfer("a", "b", 0.0)     # zero-byte fast path
+            yield net.transfer("a", "b", 100.0)   # ordinary wire flow
+
+        sim.run_process(body())
+        assert net.monitor.counters["flows_started"] == 3
+        assert net.monitor.counters["flows_completed"] == 3
 
     def test_transfer_cost_accumulates(self):
         topo = Topology("paid")
