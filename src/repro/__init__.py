@@ -16,6 +16,8 @@ Top-level re-exports cover the most common entry points; subpackages:
 - :mod:`repro.core`       — cost models, strategies, the scheduler,
   and the analytic offload calculus
 - :mod:`repro.workloads`  — synthetic science/edge workloads
+- :mod:`repro.observe`    — span tracing, Chrome trace export, and
+  critical-path extraction
 - :mod:`repro.bench`      — the E1..E10 evaluation suite
 """
 
@@ -37,6 +39,7 @@ from repro.core import (
     offload_analysis,
 )
 from repro.datafabric import Dataset
+from repro.observe import Tracer, critical_path, to_chrome_trace
 from repro.workflow import DataFlowKernel, TaskSpec, WorkflowDAG
 
 __all__ = [
@@ -57,4 +60,7 @@ __all__ = [
     "TaskSpec",
     "WorkflowDAG",
     "DataFlowKernel",
+    "Tracer",
+    "critical_path",
+    "to_chrome_trace",
 ]

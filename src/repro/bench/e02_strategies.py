@@ -9,6 +9,11 @@ Expected shape: HEFT/greedy-EFT lead on makespan overall; data-gravity
 moves the fewest bytes and wins on the beamline (data-heavy) workload;
 cloud-only pays egress dollars; edge-only is energy-frugal but slow on
 compute-heavy work.
+
+The observability columns decompose *why*: ``queue_wait_s`` totals
+slot-wait across all tasks, and ``cp_xfer_pct``/``cp_queue_pct`` give
+the critical path's transfer and queue-wait shares of the makespan
+(the rest is compute).
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.bench.harness import ExperimentResult
 from repro.continuum import Tier, hierarchical_continuum, science_grid
 from repro.core import ContinuumScheduler
 from repro.core.strategies import strategy_catalog
+from repro.observe import critical_path
 from repro.workloads import beamline_pipeline, climate_ensemble, layered_random_dag
 
 
@@ -55,8 +61,14 @@ def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
                     external_inputs=place_externals(topo, externals),
                 )
                 row = run.summary_row()
+                cp = critical_path(run, dag)
+                fractions = cp.fractions()
                 row = {"topology": topo_name, "workload": workload_name,
-                       **row}
+                       **row,
+                       "queue_wait_s": sum(
+                           r.queue_time for r in run.records.values()),
+                       "cp_xfer_pct": 100.0 * fractions["transfer"],
+                       "cp_queue_pct": 100.0 * fractions["queue"]}
                 rows_here.append(row)
                 result.rows.append(row)
             best = min(rows_here, key=lambda r: r["makespan_s"])

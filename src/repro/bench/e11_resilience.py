@@ -10,6 +10,11 @@ Expected shape: makespan inflation and wasted execution grow with the
 outage rate for both policies; greedy's ability to re-place across
 surviving sites keeps its inflation below the single-tier policy's;
 every run still completes (no lost tasks) thanks to re-placement.
+
+The observability columns break the damage down: ``queue_wait_s``
+totals slot-wait across tasks (survivor sites congest while peers are
+dark) and ``interrupt_loss_pct`` is the share of all execution seconds
+burned by interrupted attempts (wasted / (wasted + useful)).
 """
 
 from __future__ import annotations
@@ -58,6 +63,8 @@ def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
             run = _run(rate, strategy, seed)
             if rate == 0.0:
                 baselines[label] = run.makespan
+            useful_exec_s = sum(r.exec_time for r in run.records.values())
+            exec_total = useful_exec_s + run.wasted_exec_s
             result.row(
                 outage_rate_per_site=rate,
                 mtbf_s=(1.0 / rate) if rate else float("inf"),
@@ -66,6 +73,11 @@ def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
                 inflation=run.makespan / baselines[label],
                 interruptions=run.interruptions,
                 wasted_exec_s=run.wasted_exec_s,
+                queue_wait_s=sum(
+                    r.queue_time for r in run.records.values()),
+                interrupt_loss_pct=(
+                    100.0 * run.wasted_exec_s / exec_total
+                    if exec_total else 0.0),
                 completed=run.task_count,
             )
     worst = max(result.rows, key=lambda r: r["inflation"])

@@ -7,12 +7,16 @@ Commands
 - ``dag`` — render a preset workload's DAG as DOT or Mermaid,
 - ``schedule`` — run a preset workload on a topology under a strategy
   and print the summary, utilization, and Gantt chart,
+- ``trace`` — run a workload with span tracing enabled, print the span
+  summary and critical-path breakdown, and export a Chrome trace-event
+  JSON (load it in ``chrome://tracing`` or https://ui.perfetto.dev),
 - ``bench`` — alias pointing at :mod:`repro.bench`'s CLI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.continuum import (
@@ -25,7 +29,20 @@ from repro.continuum import (
 from repro.core import ContinuumScheduler, slo_report
 from repro.core.strategies import strategy_catalog
 from repro.errors import ContinuumError
-from repro.report import ascii_gantt, dag_to_dot, dag_to_mermaid, utilization_table
+from repro.observe import (
+    Tracer,
+    critical_path,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.report import (
+    ascii_gantt,
+    critical_path_report,
+    dag_to_dot,
+    dag_to_mermaid,
+    span_summary,
+    utilization_table,
+)
 from repro.workflow import load_workload, save_workload
 from repro.workloads import (
     beamline_pipeline,
@@ -129,6 +146,37 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    topo = _get_topology(args.topology)
+    dag, externals = _get_workload(args)
+    peripheral = [s.name for s in topo.sites if s.tier.is_peripheral]
+    sources = peripheral or topo.site_names
+    placed = [(d, sources[i % len(sources)]) for i, d in enumerate(externals)]
+    strategy = _get_strategy(args.strategy)
+    tracer = Tracer()
+    result = ContinuumScheduler(topo, seed=args.seed).run(
+        dag, strategy, external_inputs=placed, tracer=tracer
+    )
+    print(f"workflow {dag.name!r} on {topo.name!r} via {strategy.name!r}: "
+          f"makespan {result.makespan:.3f} s, "
+          f"{len(tracer.finished())} spans")
+    print()
+    print(span_summary(tracer))
+    print()
+    cp = critical_path(result, dag)
+    print(critical_path_report(cp))
+    if args.out:
+        doc = to_chrome_trace(tracer)
+        validate_chrome_trace(doc)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        print()
+        print(f"chrome trace written to {args.out} "
+              f"({len(doc['traceEvents'])} events; open in chrome://tracing "
+              f"or ui.perfetto.dev)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="continuum computing toolkit"
@@ -161,6 +209,20 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--strategy", default="heft")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=_cmd_schedule)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload with span tracing; export Chrome trace"
+    )
+    p_trace.add_argument("--topology", default="science-grid")
+    p_trace.add_argument("--workload", choices=sorted(PRESET_WORKLOADS),
+                         default="beamline")
+    p_trace.add_argument("--dag", metavar="FILE", default=None,
+                         help="saved workload JSON (overrides --workload)")
+    p_trace.add_argument("--strategy", default="heft")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", metavar="FILE", default="trace.json",
+                         help="Chrome trace-event JSON path ('' to skip)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     try:

@@ -44,6 +44,8 @@ from repro.datafabric.transfer import TransferService
 from repro.errors import SchedulingError
 from repro.faults.outages import OutageSchedule, SiteOutage
 from repro.netsim.network import FlowNetwork
+from repro.observe.tracer import NULL_TRACER, Tracer
+from repro.simcore.monitor import Monitor
 from repro.simcore.process import AllOf, Interrupt, Timeout
 from repro.simcore.resources import Resource
 from repro.simcore.simulation import Simulator
@@ -135,17 +137,22 @@ class ContinuumScheduler:
         failures: OutageSchedule | None = None,
         task_retries: int = 2,
         until: float | None = None,
+        tracer: Tracer | None = None,
     ) -> ScheduleResult:
         """Execute one ``dag`` under ``strategy``.
 
         ``external_inputs`` provides (dataset, site) pairs for every
         dataset the DAG consumes but does not produce. Raises
         :class:`SchedulingError` on missing externals or failed tasks.
+        Pass a :class:`~repro.observe.Tracer` to record per-task,
+        per-transfer, and fault-injection spans; tracing never changes
+        the schedule (it only reads the clock).
         """
         dag.validate()
         job = StreamJob(0.0, dag, tuple(external_inputs))
         run = _Run(self, [job], strategy,
-                   failures=failures, task_retries=task_retries)
+                   failures=failures, task_retries=task_retries,
+                   tracer=tracer)
         run.execute(until=until)
         return run.single_result()
 
@@ -157,6 +164,7 @@ class ContinuumScheduler:
         failures: OutageSchedule | None = None,
         task_retries: int = 2,
         until: float | None = None,
+        tracer: Tracer | None = None,
     ) -> StreamResult:
         """Execute an online stream of workflow instances.
 
@@ -172,7 +180,8 @@ class ContinuumScheduler:
         for job in job_list:
             job.dag.validate()
         run = _Run(self, job_list, strategy,
-                   failures=failures, task_retries=task_retries)
+                   failures=failures, task_retries=task_retries,
+                   tracer=tracer)
         run.execute(until=until)
         return run.stream_result()
 
@@ -183,7 +192,8 @@ class _Run:
     def __init__(self, sched: ContinuumScheduler, jobs: list[StreamJob],
                  strategy: PlacementStrategy,
                  failures: OutageSchedule | None = None,
-                 task_retries: int = 2):
+                 task_retries: int = 2,
+                 tracer: Tracer | None = None):
         self.jobs = jobs
         self.strategy = strategy
         self.failures = failures
@@ -191,8 +201,14 @@ class _Run:
             raise SchedulingError(f"task_retries must be >= 0, got {task_retries}")
         self.task_retries = task_retries
         self.sim = Simulator()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            tracer.bind(lambda: self.sim.now)
+        self.monitor = Monitor(self.sim)
+        self.monitor.tracer = self.tracer
         self.rngs = RngRegistry(sched.seed)
-        self.network = FlowNetwork(self.sim, sched.topology)
+        self.network = FlowNetwork(self.sim, sched.topology,
+                                   monitor=self.monitor)
         self.catalog = ReplicaCatalog()
         self.transfers = TransferService(
             self.sim, self.network, self.catalog,
@@ -237,6 +253,13 @@ class _Run:
         self._active_at: dict[str, tuple] = {}   # task -> (Process, site)
         self.interruptions = 0
         self.wasted_exec_s = 0.0
+        # failure-injection state: overlapping outages of one site are
+        # reference-counted (the site stays dark until every active
+        # outage has ended); brownout factors per link are stacked and
+        # applied to the topology's *base* bandwidth, so restoration is
+        # bit-exact no matter how outages and brownouts interleave
+        self._down_depth: dict[str, int] = {}
+        self._brownout_factors: dict[frozenset, list[float]] = {}
         if failures is not None:
             failures.validate_against(sched.topology)
 
@@ -290,6 +313,7 @@ class _Run:
         for name in job.dag.task_names:
             if self.remaining[name] == 0:
                 self.ready.append(job.dag.task(name))
+                self.tracer.instant("ready", "scheduler", task=name)
         self._schedule_dispatch()
 
     # -- results --------------------------------------------------------------------
@@ -349,6 +373,9 @@ class _Run:
                                  brownout, False)
 
     def _site_down(self, outage: SiteOutage) -> None:
+        self._down_depth[outage.site] = self._down_depth.get(outage.site, 0) + 1
+        self.tracer.instant("site_down", "fault", site=outage.site,
+                            depth=self._down_depth[outage.site])
         if outage.site in self.ctx._slots:
             self.ctx.mark_down(outage.site)
         victims = [
@@ -359,15 +386,37 @@ class _Run:
             proc.interrupt(cause=f"outage@{outage.site}")
 
     def _site_up(self, site: str) -> None:
+        # overlapping outages are reference-counted: the site recovers
+        # only when its *last* active outage ends
+        depth = self._down_depth.get(site, 1) - 1
+        self._down_depth[site] = depth
+        self.tracer.instant("site_up", "fault", site=site, depth=depth)
+        if depth > 0:
+            return
         self.ctx.mark_up(site)
         if self.ready:
             self._schedule_dispatch()
 
     def _brownout(self, brownout, begin: bool) -> None:
-        current = self.network.link_bandwidth(brownout.a, brownout.b)
-        factor = brownout.factor if begin else 1.0 / brownout.factor
-        self.network.set_link_bandwidth(brownout.a, brownout.b,
-                                        current * factor)
+        # apply the product of all active factors to the *base* link
+        # bandwidth: composes with overlaps and restores bit-exactly
+        # (never round-trips the live value through a division)
+        key = frozenset((brownout.a, brownout.b))
+        factors = self._brownout_factors.setdefault(key, [])
+        if begin:
+            factors.append(brownout.factor)
+        else:
+            factors.remove(brownout.factor)
+        bandwidth = self.network.topology.link(brownout.a,
+                                               brownout.b).bandwidth_Bps
+        for factor in factors:
+            bandwidth *= factor
+        self.tracer.instant(
+            "brownout_begin" if begin else "brownout_end", "fault",
+            link=f"{brownout.a}--{brownout.b}", factor=brownout.factor,
+            bandwidth_Bps=bandwidth,
+        )
+        self.network.set_link_bandwidth(brownout.a, brownout.b, bandwidth)
 
     # -- dispatch --------------------------------------------------------------------
     def _schedule_dispatch(self) -> None:
@@ -410,19 +459,20 @@ class _Run:
                 task, self.ctx.site(site_name)
             )
             self.ctx.reserve(site_name, est_finish)
-            self.decisions.append(
-                PlacementDecision(
-                    task=task.name, site=site_name, decided_at=self.sim.now,
-                    est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
-                    est_finish=est_finish,
-                )
+            decision = PlacementDecision(
+                task=task.name, site=site_name, decided_at=self.sim.now,
+                est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
+                est_finish=est_finish,
             )
+            self.decisions.append(decision)
             proc = self.sim.process(
-                self._task_proc(task, site_name), name=f"task:{task.name}"
+                self._task_proc(task, site_name, decision),
+                name=f"task:{task.name}",
             )
             self._active_at[task.name] = (proc, site_name)
 
-    def _task_proc(self, task: TaskSpec, site_name: str):
+    def _task_proc(self, task: TaskSpec, site_name: str,
+                   decision: PlacementDecision):
         site = self.ctx.site(site_name)
         self.attempts[task.name] += 1
         record = TaskRecord(
@@ -430,31 +480,51 @@ class _Run:
             ready_at=self.sim.now, deadline_s=task.deadline_s,
             attempts=self.attempts[task.name],
         )
+        tracer = self.tracer
+        tspan = tracer.begin(
+            f"task:{task.name}", "task", site=site_name, kind=task.kind,
+            attempt=self.attempts[task.name],
+            est_stage_s=decision.est_stage_s,
+            est_exec_s=decision.est_exec_s,
+            est_finish=decision.est_finish,
+        )
+        phase = None   # the open child span, closed on interrupt/failure
         req = None
         exec_started = False
         try:
             record.stage_started = self.sim.now
+            phase = tracer.begin("stage", "stage", parent=tspan)
             if task.inputs:
                 results = yield AllOf(
                     [self.transfers.stage(name, site_name) for name in task.inputs]
                 )
                 record.bytes_staged = sum(r.bytes_moved for r in results)
             record.stage_finished = self.sim.now
+            tracer.end(phase, bytes=record.bytes_staged)
 
+            phase = tracer.begin("queue", "queue", parent=tspan)
             req = self.resources[site_name].request()
             yield req
+            tracer.end(phase)
             record.exec_started = self.sim.now
             exec_started = True
+            phase = tracer.begin("exec", "exec", parent=tspan)
             exec_time = site.service_time(task.work, kind=task.kind)
             if exec_time > 0:
                 yield Timeout(exec_time)
             self.resources[site_name].release(req)
             req = None
             record.exec_finished = self.sim.now
+            tracer.end(phase)
+            tracer.end(tspan)
         except Interrupt as intr:
+            tracer.end(phase, status="interrupted")
+            tracer.end(tspan, status="interrupted", cause=intr.cause)
             self._on_interrupt(task, site_name, record, req, exec_started, intr)
             return
         except Exception as exc:  # noqa: BLE001 - recorded, re-raised at end
+            tracer.end(phase, status="failed")
+            tracer.end(tspan, status="failed", error=repr(exc))
             self._active_at.pop(task.name, None)
             self.failed_tasks[task.name] = exc
             return
@@ -480,6 +550,7 @@ class _Run:
             self.remaining[dependent] -= 1
             if self.remaining[dependent] == 0:
                 self.ready.append(dag.task(dependent))
+                self.tracer.instant("ready", "scheduler", task=dependent)
                 self._schedule_dispatch()
 
     def _on_interrupt(self, task: TaskSpec, site_name: str,
@@ -488,6 +559,12 @@ class _Run:
         """An outage cut this attempt short: clean up and re-place."""
         self._active_at.pop(task.name, None)
         self.interruptions += 1
+        self.tracer.instant(
+            "interrupted", "scheduler", task=task.name, site=site_name,
+            cause=intr.cause,
+            wasted_s=(self.sim.now - record.exec_started
+                      if exec_started else 0.0),
+        )
         if req is not None:
             self.resources[site_name].cancel(req)
         if exec_started:
@@ -503,4 +580,6 @@ class _Run:
             )
             return
         self.ready.append(task)
+        self.tracer.instant("ready", "scheduler", task=task.name,
+                            requeued_after=intr.cause)
         self._schedule_dispatch()

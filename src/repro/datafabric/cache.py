@@ -6,6 +6,7 @@ E6 compares the policies on skewed streaming workloads.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
@@ -66,6 +67,32 @@ class Cache:
         self._seq += 1
         return self._seq
 
+    def _recompute_used(self) -> None:
+        """Re-derive ``used_bytes`` from the resident entries.
+
+        Incremental ``+=``/``-=`` float accounting drifts over long
+        admit/drop/evict histories and can leave a phantom residue that
+        makes an exact-capacity admit try to evict from an empty cache.
+        ``math.fsum`` is exactly rounded, so the figure depends only on
+        what is resident — never on the mutation history.
+        """
+        self.used_bytes = math.fsum(
+            e.dataset.size_bytes for e in self._entries.values()
+        )
+
+    def _would_overflow(self, incoming: float) -> bool:
+        """Exact fit check for an incoming size.
+
+        ``used_bytes + incoming`` rounds once more and can spuriously
+        exceed an exact-capacity budget that the true sum fits; one
+        ``fsum`` over residents plus the newcomer cannot.
+        """
+        prospective = math.fsum(
+            [*(e.dataset.size_bytes for e in self._entries.values()),
+             incoming]
+        )
+        return prospective > self.capacity_bytes
+
     # -- queries -----------------------------------------------------------------
     def lookup(self, name: str) -> bool:
         """True on hit (refreshes recency/frequency); False on miss."""
@@ -101,18 +128,18 @@ class Cache:
             return True
         if dataset.size_bytes > self.capacity_bytes:
             return False
-        while self.used_bytes + dataset.size_bytes > self.capacity_bytes:
+        while self._would_overflow(dataset.size_bytes):
             self._evict_one()
         seq = self._tick()
         self._entries[dataset.name] = _Entry(dataset, seq, seq, 1)
-        self.used_bytes += dataset.size_bytes
+        self._recompute_used()
         return True
 
     def drop(self, name: str) -> None:
         entry = self._entries.pop(name, None)
         if entry is None:
             raise DataFabricError(f"dataset {name!r} not in cache")
-        self.used_bytes -= entry.dataset.size_bytes
+        self._recompute_used()
 
     def _evict_one(self) -> None:
         if not self._entries:
@@ -131,7 +158,7 @@ class Cache:
                 key=lambda e: (e.dataset.size_bytes, -e.last_used_seq),
             )
         del self._entries[victim.dataset.name]
-        self.used_bytes -= victim.dataset.size_bytes
+        self._recompute_used()
         self.evictions += 1
         self.bytes_evicted += victim.dataset.size_bytes
 

@@ -61,3 +61,8 @@ class SchedulingError(ContinuumError):
 
 class ConfigurationError(ContinuumError):
     """Raised when user-supplied configuration values are invalid."""
+
+
+class ObserveError(ContinuumError):
+    """Raised by the observability layer (span misuse, malformed trace
+    exports failing schema validation)."""

@@ -4,13 +4,16 @@ Serverless platforms grow and shrink worker pools with demand. The
 :class:`Autoscaler` polls one endpoint's queue on a fixed interval and
 applies the classic threshold policy:
 
-- queue length > ``scale_up_at``  -> add ``step`` workers (after a
+- queue length > ``scale_up_at``      -> add ``step`` workers (after a
   ``provision_delay_s`` modeling VM/container spin-up),
-- queue empty and workers idle    -> remove ``step`` workers,
+- queue empty and *all* workers idle  -> remove ``step`` workers,
 
-bounded by ``[min_workers, max_workers]``. Scaling down never preempts
-running work (the resource drains naturally). E4's endpoint model plus
-this loop reproduces the elasticity half of the funcX story.
+bounded by ``[min_workers, max_workers]``. Scale-down requires the pool
+to be fully drained — an empty queue alone is not proof of idleness,
+and shrinking while work is still running causes capacity flapping
+under steady load. Scaling down never preempts running work (the
+resource drains naturally). E4's endpoint model plus this loop
+reproduces the elasticity half of the funcX story.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.errors import FaaSError
 from repro.faas.endpoint import Endpoint
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.simcore.process import Timeout
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -55,10 +59,13 @@ class Autoscaler:
     capacity change as ``(time, old, new)``.
     """
 
-    def __init__(self, endpoint: Endpoint, policy: ScalingPolicy | None = None):
+    def __init__(self, endpoint: Endpoint, policy: ScalingPolicy | None = None,
+                 *, tracer: Tracer | None = None):
         self.endpoint = endpoint
         self.policy = policy or ScalingPolicy()
         self.sim = endpoint.sim
+        self.tracer = (tracer if tracer is not None
+                       else endpoint.tracer or NULL_TRACER)
         if endpoint.workers.capacity < self.policy.min_workers:
             raise FaaSError(
                 "endpoint starts below the policy's min_workers"
@@ -108,7 +115,7 @@ class Autoscaler:
                 self.sim.process(self._provision(step), name="provision")
             elif (
                 queue == 0
-                and workers.in_use < workers.capacity
+                and workers.in_use == 0
                 and workers.capacity > policy.min_workers
                 and self._provisioning == 0
             ):
@@ -116,11 +123,14 @@ class Autoscaler:
                 self._resize(workers.capacity - step)
 
     def _provision(self, step: int):
+        span = self.tracer.begin("provision", "scaling", step=step,
+                                 endpoint=self.endpoint.name)
         if self.policy.provision_delay_s > 0:
             yield Timeout(self.policy.provision_delay_s)
         else:
             yield Timeout(0.0)
         self._provisioning -= step
+        self.tracer.end(span)
         if not self._stopped:
             self._resize(self.endpoint.workers.capacity + step)
 
@@ -130,3 +140,5 @@ class Autoscaler:
             return
         self.endpoint.workers.set_capacity(new_capacity)
         self.scaling_events.append((self.sim.now, old, new_capacity))
+        self.tracer.instant("scale", "scaling", endpoint=self.endpoint.name,
+                            old=old, new=new_capacity)

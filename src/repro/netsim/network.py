@@ -77,6 +77,7 @@ class FlowNetwork:
         self._active: dict[int, Flow] = {}
         self._events: dict[int, object] = {}   # flow_id -> scheduled event
         self._signals: dict[int, Signal] = {}
+        self._spans: dict[int, object] = {}    # flow_id -> open tracer span
         self._last_update = sim.now
         self._next_id = 0
         # persistent incidence state: column c of _A[:, :_n_active]
@@ -119,6 +120,12 @@ class FlowNetwork:
         signal = self.sim.signal()
         self._signals[flow.flow_id] = signal
         self.monitor.count("flows_started")
+        tracer = self.monitor.tracer
+        if tracer.enabled:
+            self._spans[flow.flow_id] = tracer.begin(
+                f"xfer:{src}->{dst}", "transfer", src=src, dst=dst,
+                bytes=float(size_bytes), route=list(path.hops),
+            )
 
         if path.hop_count == 0 or size_bytes == 0:
             # Local or empty: no bytes contend for bandwidth, so the
@@ -304,6 +311,11 @@ class FlowNetwork:
         self.total_transfer_cost_usd += cost
         self.monitor.count("flows_completed")
         self.monitor.count("bytes_moved", flow.size_bytes)
+        span = self._spans.pop(flow.flow_id, None)
+        if span is not None:
+            rate = flow.size_bytes / flow.duration if flow.duration > 0 else 0.0
+            self.monitor.tracer.end(span, achieved_Bps=rate,
+                                    cost_usd=cost)
         self.monitor.log(
             "transfer_done",
             f"flow{flow.flow_id}",

@@ -1,0 +1,39 @@
+"""Observability: span tracing, trace export, critical-path analysis.
+
+The keynote's question — "where should I compute?" — is only
+answerable if every placement decision, transfer, and task attempt is
+inspectable after the fact. This package provides that layer:
+
+- :class:`Span` / :class:`Tracer` — begin/end interval records with
+  parents and attributes, emitted by the continuum scheduler (task
+  lifecycle with the estimate that drove each placement), the flow
+  network (per-transfer spans with bytes/route/achieved rate), FaaS
+  endpoints and autoscalers (queueing, cold starts, scaling), and the
+  real-execution dataflow kernel (submit/run/memo),
+- :func:`to_chrome_trace` / :func:`validate_chrome_trace` — export to
+  the Chrome trace-event JSON both ``chrome://tracing`` and Perfetto
+  render, plus the schema check CI runs on it,
+- :func:`critical_path` — the longest gating chain of a completed run,
+  decomposed into compute / transfer / queue-wait fractions.
+
+Tracing is opt-in and zero-interference: a traced simulation produces
+bit-identical placements and makespans to an untraced one, because
+tracers only read the clock, never schedule events.
+"""
+
+from repro.observe.chrome import to_chrome_trace, validate_chrome_trace
+from repro.observe.critical_path import CriticalPath, PathStep, critical_path
+from repro.observe.span import Span
+from repro.observe.tracer import NULL_SPAN, NULL_TRACER, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "CriticalPath",
+    "PathStep",
+    "critical_path",
+]

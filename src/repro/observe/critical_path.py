@@ -1,0 +1,113 @@
+"""Critical-path extraction over a completed schedule.
+
+Answers *why the makespan is what it is*: walks the gating chain of
+task records backwards from the last finisher — at each task the
+predecessor whose completion released it — and attributes every second
+on that chain to compute, transfer (staging), queue wait (slot wait
+plus dispatch gaps), so "the run is transfer-bound" becomes a number.
+
+For a deterministic run the extracted ``makespan_s`` equals the
+scheduler's reported makespan exactly (both are the last task's
+``exec_finished``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One task on the critical chain, with its time breakdown."""
+
+    task: str
+    site: str
+    gap_s: float     # gating-predecessor finish (or arrival) -> stage start
+    stage_s: float   # input staging (transfer)
+    queue_s: float   # waiting for a worker slot
+    exec_s: float    # execution
+
+    @property
+    def total_s(self) -> float:
+        return self.gap_s + self.stage_s + self.queue_s + self.exec_s
+
+
+@dataclass
+class CriticalPath:
+    """The longest dependency chain of one run, decomposed."""
+
+    steps: list[PathStep]          # chain in execution order
+    makespan_s: float              # == scheduler's reported makespan
+
+    @property
+    def compute_s(self) -> float:
+        return sum(s.exec_s for s in self.steps)
+
+    @property
+    def transfer_s(self) -> float:
+        return sum(s.stage_s for s in self.steps)
+
+    @property
+    def queue_s(self) -> float:
+        """Slot waits plus dispatch/re-placement gaps."""
+        return sum(s.queue_s + s.gap_s for s in self.steps)
+
+    def fractions(self) -> dict[str, float]:
+        """``{"compute": ..., "transfer": ..., "queue": ...}`` of the
+        makespan (all zero for an empty path)."""
+        if not self.steps or self.makespan_s <= 0:
+            return {"compute": 0.0, "transfer": 0.0, "queue": 0.0}
+        return {
+            "compute": self.compute_s / self.makespan_s,
+            "transfer": self.transfer_s / self.makespan_s,
+            "queue": self.queue_s / self.makespan_s,
+        }
+
+    @property
+    def task_names(self) -> list[str]:
+        return [s.task for s in self.steps]
+
+
+def critical_path(result, dag, *, arrival_s: float = 0.0) -> CriticalPath:
+    """Extract the critical path of ``result`` through ``dag``.
+
+    ``result`` is a :class:`~repro.core.placement.ScheduleResult` (or
+    any object with a ``records`` dict, or the dict itself); ``dag`` is
+    the :class:`~repro.workflow.dag.WorkflowDAG` that was executed.
+    ``arrival_s`` anchors the chain's start for stream jobs that
+    arrived after t=0.
+    """
+    records = getattr(result, "records", result)
+    if not records:
+        return CriticalPath(steps=[], makespan_s=0.0)
+
+    def order_key(rec):
+        return (rec.exec_finished, rec.task)
+
+    chain = []
+    current = max(
+        (records[name] for name in dag.task_names if name in records),
+        key=order_key,
+    )
+    makespan = current.exec_finished
+    while True:
+        deps = [records[d] for d in dag.dependencies(current.task)
+                if d in records]
+        gate_finish = arrival_s
+        gate = None
+        if deps:
+            gate = max(deps, key=order_key)
+            gate_finish = gate.exec_finished
+        chain.append(PathStep(
+            task=current.task,
+            site=current.site,
+            gap_s=max(current.stage_started - gate_finish, 0.0),
+            stage_s=current.stage_time,
+            queue_s=current.queue_time,
+            exec_s=current.exec_time,
+        ))
+        if gate is None:
+            break
+        current = gate
+    chain.reverse()
+    return CriticalPath(steps=chain, makespan_s=makespan - arrival_s)

@@ -1,0 +1,150 @@
+"""Span collection: the :class:`Tracer` every subsystem emits into.
+
+One tracer serves one run. Instrumented code calls ``begin``/``end``
+(or the ``span`` context manager) unconditionally; a *disabled* tracer
+returns a shared null span and records nothing, so tracing costs one
+attribute check when off. Tracers never schedule simulation events —
+they only read a clock — which is what makes observability
+zero-interference: a traced run is bit-identical to an untraced one.
+
+Clocks are late-bound: the continuum scheduler binds the tracer to its
+per-run :class:`~repro.simcore.simulation.Simulator` clock, while the
+real-execution dataflow kernel binds ``time.perf_counter``. Explicit
+``time=`` arguments override the clock (useful in tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections.abc import Callable
+from contextlib import contextmanager
+
+from repro.errors import ObserveError
+from repro.observe.span import Span
+
+#: Shared sentinel returned by disabled tracers; ``end`` ignores it.
+NULL_SPAN = Span(name="", category="", begin_s=0.0, span_id=0)
+
+
+class Tracer:
+    """Collects :class:`Span` trees against a pluggable clock.
+
+    Thread-safe: the dataflow kernel ends spans from worker threads.
+    ``spans`` holds every span in begin order; completed trees can be
+    exported with :func:`repro.observe.to_chrome_trace`.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 *, enabled: bool = True):
+        self._clock = clock
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._next_id = 1
+        self._lock = threading.Lock()
+
+    # -- clock ---------------------------------------------------------------
+    def bind(self, clock) -> None:
+        """Set the time source: a callable or anything with ``.now``."""
+        if callable(clock):
+            self._clock = clock
+        elif hasattr(clock, "now"):
+            self._clock = lambda: clock.now
+        else:
+            raise ObserveError(f"cannot use {clock!r} as a tracer clock")
+
+    @property
+    def bound(self) -> bool:
+        return self._clock is not None
+
+    def now(self) -> float:
+        """Current time (wall clock until :meth:`bind` is called)."""
+        if self._clock is not None:
+            return self._clock()
+        return _time.perf_counter()
+
+    # -- recording -------------------------------------------------------------
+    def begin(self, name: str, category: str = "span", *,
+              parent: Span | None = None, time: float | None = None,
+              **attrs) -> Span:
+        """Open a span; returns it (a shared null span when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        t = self.now() if time is None else float(time)
+        with self._lock:
+            span = Span(
+                name=name, category=category, begin_s=t,
+                span_id=self._next_id,
+                parent_id=(parent.span_id
+                           if parent is not None and parent is not NULL_SPAN
+                           else None),
+                attrs=dict(attrs),
+            )
+            self._next_id += 1
+            self.spans.append(span)
+        return span
+
+    def end(self, span: Span, *, time: float | None = None,
+            status: str = "ok", **attrs) -> Span:
+        """Close ``span`` at the current time, merging extra attributes."""
+        if span is NULL_SPAN or span is None or not self.enabled:
+            return span
+        if span.end_s is not None:
+            raise ObserveError(f"span {span.name!r} already ended")
+        t = self.now() if time is None else float(time)
+        if t < span.begin_s:
+            raise ObserveError(
+                f"span {span.name!r} would end at {t} before its begin "
+                f"{span.begin_s}"
+            )
+        span.end_s = t
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def instant(self, name: str, category: str = "event", *,
+                parent: Span | None = None, time: float | None = None,
+                **attrs) -> Span:
+        """Record a zero-duration point event."""
+        span = self.begin(name, category, parent=parent, time=time, **attrs)
+        if span is not NULL_SPAN:
+            span.end_s = span.begin_s
+            span.instant = True
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", *,
+             parent: Span | None = None, **attrs):
+        """``with tracer.span("step"): ...`` — ends on exit, marks
+        ``"failed"`` if the body raises."""
+        s = self.begin(name, category, parent=parent, **attrs)
+        try:
+            yield s
+        except BaseException:
+            self.end(s, status="failed")
+            raise
+        self.end(s)
+
+    # -- retrieval ---------------------------------------------------------------
+    def finished(self) -> list[Span]:
+        """All closed spans, in begin order."""
+        return [s for s in self.spans if s.closed]
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if not s.closed]
+
+    def by_category(self, category: str) -> list[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self._next_id = 1
+
+
+#: Module-level disabled tracer instrumented code defaults to.
+NULL_TRACER = Tracer(enabled=False)

@@ -4,11 +4,14 @@
   Graphviz and Markdown renderers,
 - :func:`ascii_gantt` — per-site timeline of a schedule result,
 - :func:`utilization_table` — how busy each site was,
-- :func:`placement_summary` — tasks-per-site breakdown.
+- :func:`placement_summary` — tasks-per-site breakdown,
+- :func:`span_summary` / :func:`critical_path_report` — render a
+  traced run (see :mod:`repro.observe`).
 """
 
 from repro.report.dagviz import dag_to_dot, dag_to_mermaid
 from repro.report.timeline import ascii_gantt, placement_summary, utilization_table
+from repro.report.tracereport import critical_path_report, span_summary
 
 __all__ = [
     "dag_to_dot",
@@ -16,4 +19,6 @@ __all__ = [
     "ascii_gantt",
     "utilization_table",
     "placement_summary",
+    "span_summary",
+    "critical_path_report",
 ]

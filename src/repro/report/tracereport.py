@@ -1,0 +1,68 @@
+"""Render a traced run: span summaries and critical-path breakdowns.
+
+Text companions to the Chrome-trace JSON export — what ``repro trace``
+prints so a run is inspectable without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.observe.critical_path import CriticalPath
+from repro.observe.tracer import Tracer
+from repro.utils.tables import ascii_table
+
+
+def span_summary(tracer: Tracer) -> str:
+    """Per-category span counts and time totals for one traced run."""
+    buckets: dict[str, list[float]] = defaultdict(list)
+    statuses: dict[str, int] = defaultdict(int)
+    for span in tracer.finished():
+        if span.instant:
+            statuses[f"{span.category}:{span.name}"] += 1
+        else:
+            buckets[span.category].append(span.duration_s)
+    rows = []
+    for category in sorted(buckets):
+        durations = buckets[category]
+        rows.append({
+            "category": category,
+            "spans": len(durations),
+            "total_s": sum(durations),
+            "mean_s": sum(durations) / len(durations),
+            "max_s": max(durations),
+        })
+    parts = [ascii_table(rows, title="span summary")] if rows else []
+    if statuses:
+        events = ", ".join(f"{name} x{count}"
+                           for name, count in sorted(statuses.items()))
+        parts.append(f"  events: {events}")
+    if not parts:
+        return "(no spans recorded)"
+    return "\n".join(parts)
+
+
+def critical_path_report(cp: CriticalPath) -> str:
+    """The gating chain plus its compute/transfer/queue decomposition."""
+    if not cp.steps:
+        return "(empty critical path)"
+    rows = [
+        {
+            "task": step.task,
+            "site": step.site,
+            "wait_s": step.gap_s + step.queue_s,
+            "stage_s": step.stage_s,
+            "exec_s": step.exec_s,
+        }
+        for step in cp.steps
+    ]
+    fractions = cp.fractions()
+    breakdown = "  ".join(
+        f"{name} {fraction * 100.0:.1f}%"
+        for name, fraction in fractions.items()
+    )
+    return "\n".join([
+        ascii_table(rows, title=f"critical path ({len(cp.steps)} tasks, "
+                                f"makespan {cp.makespan_s:.3f}s)"),
+        f"  breakdown: {breakdown}",
+    ])

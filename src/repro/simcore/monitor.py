@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SimulationError
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.utils.stats import Summary, summarize
 
 
@@ -29,12 +31,24 @@ class TraceRecord:
 class Monitor:
     """Timestamped series, counters, and structured trace records."""
 
-    def __init__(self, sim=None):
+    def __init__(self, sim=None, tracer: Tracer | None = None):
         self.sim = sim
         self._series: dict[str, list[tuple[float, float]]] = defaultdict(list)
         self.counters: dict[str, float] = defaultdict(float)
         self.trace: list[TraceRecord] = []
         self.trace_enabled = True
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer: Tracer) -> "Tracer":
+        """Attach a span tracer, binding it to this monitor's sim clock
+        if it has no clock yet. Instrumented subsystems holding the
+        monitor emit spans through ``monitor.tracer``."""
+        if self.sim is not None and not tracer.bound:
+            tracer.bind(lambda: self.sim.now)
+        self.tracer = tracer
+        return tracer
 
     # -- recording -------------------------------------------------------------
     def record(self, series: str, value: float, time: float | None = None) -> None:
@@ -81,6 +95,11 @@ class Monitor:
             return float("nan")
         times = np.asarray([t for t, _ in data], dtype=float)
         vals = np.asarray([v for _, v in data], dtype=float)
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise SimulationError(
+                f"time_average({series!r}) needs non-decreasing sample "
+                f"times (got out-of-order explicit timestamps)"
+            )
         end = times[-1] if horizon is None else float(horizon)
         if end <= times[0]:
             return float(vals[0])

@@ -17,10 +17,13 @@ dependency callbacks fire on worker threads.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.errors import TaskFailedError, WorkflowError
+from repro.observe.span import Span
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.workflow.checkpoint import load_checkpoint, save_checkpoint
 from repro.workflow.executors import ExecutorBase, ThreadExecutor
 from repro.workflow.futures import AppFuture
@@ -36,6 +39,8 @@ class _TaskRecord:
     retries: int
     pending: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
+    span: Span | None = None       # task-lifecycle span (tracing enabled)
+    wait_span: Span | None = None  # submit -> dependencies-resolved
 
 
 def _iter_futures(args: tuple, kwargs: dict):
@@ -75,10 +80,14 @@ class DataFlowKernel:
         memoize: bool = False,
         checkpoint_path: str | None = None,
         retries: int = 0,
+        tracer: Tracer | None = None,
     ):
         if retries < 0:
             raise WorkflowError(f"retries must be >= 0, got {retries}")
         self.executor = executor if executor is not None else ThreadExecutor()
+        if tracer is not None and not tracer.bound:
+            tracer.bind(time.perf_counter)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.default_retries = retries
         self.memoizer = Memoizer() if (memoize or checkpoint_path) else None
         self.checkpoint_path = checkpoint_path
@@ -111,6 +120,14 @@ class DataFlowKernel:
         )
         deps = list({id(f): f for f in _iter_futures(args, kwargs)}.values())
         record.pending = len(deps)
+        if self.tracer.enabled:
+            record.span = self.tracer.begin(
+                f"task:{future.func_name}#{task_id}", "dftask",
+                task_id=task_id, deps=len(deps),
+            )
+            record.wait_span = self.tracer.begin(
+                "wait-deps", "queue", parent=record.span,
+            )
         if not deps:
             self._launch(record)
         else:
@@ -144,6 +161,8 @@ class DataFlowKernel:
             self._launch(record)
 
     def _launch(self, record: _TaskRecord) -> None:
+        self.tracer.end(record.wait_span)
+        record.wait_span = None
         try:
             args = tuple(_substitute(a) for a in record.args)
             kwargs = {k: _substitute(v) for k, v in record.kwargs.items()}
@@ -160,35 +179,44 @@ class DataFlowKernel:
                 with self._lock:
                     self.tasks_memoized += 1
                     self.tasks_completed += 1
+                self.tracer.instant("memo-hit", "dftask", parent=record.span)
+                self.tracer.end(record.span, status="ok", memoized=True)
                 record.future.set_result(value)
                 return
         self._execute(record, args, kwargs, key)
 
     def _execute(self, record: _TaskRecord, args, kwargs, key) -> None:
         record.future.tries += 1
+        run_span = self.tracer.begin("run", "run", parent=record.span,
+                                     attempt=record.future.tries)
         exec_future = self.executor.submit(record.fn, *args, **kwargs)
         exec_future.add_done_callback(
-            lambda f: self._exec_done(record, args, kwargs, key, f)
+            lambda f: self._exec_done(record, args, kwargs, key, f, run_span)
         )
 
     def _exec_done(self, record: _TaskRecord, args, kwargs, key,
-                   exec_future: Future) -> None:
+                   exec_future: Future, run_span=None) -> None:
         exc = exec_future.exception()
         if exc is None:
+            self.tracer.end(run_span)
             value = exec_future.result()
             if self.memoizer is not None:
                 self.memoizer.store(key, value)
             with self._lock:
                 self.tasks_completed += 1
+            self.tracer.end(record.span, tries=record.future.tries)
             record.future.set_result(value)
         elif record.future.tries <= record.retries:
+            self.tracer.end(run_span, status="failed", error=repr(exc))
             self._execute(record, args, kwargs, key)
         else:
+            self.tracer.end(run_span, status="failed", error=repr(exc))
             self._fail(record, exc)
 
     def _fail(self, record: _TaskRecord, exc: BaseException) -> None:
         with self._lock:
             self.tasks_failed += 1
+        self.tracer.end(record.span, status="failed", error=repr(exc))
         record.future.set_exception(exc)
 
     def map(self, fn, *iterables, retries: int | None = None) -> list[AppFuture]:

@@ -1,0 +1,75 @@
+"""Regression tests for exact cache byte accounting.
+
+``used_bytes`` used to be maintained incrementally (``+=`` on admit,
+``-=`` on drop/evict). Fractional sizes leave ~1 ulp of residue per
+round trip, so a long admit/drop history could end with an *empty*
+cache whose ``used_bytes`` was a small positive number — and an
+exact-capacity admit would then spin the eviction loop on nothing and
+raise ``"cache accounting error: nothing to evict"``. The accounting is
+now re-derived from the resident entries with ``math.fsum``; these
+tests fail on the incremental arithmetic.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.datafabric import Cache, Dataset
+from repro.errors import DataFabricError
+
+# sizes whose exact sum is representable (fsum == 0.11) but whose
+# incremental accumulation leaves a positive residue after draining
+SIZES = (0.01, 0.03, 0.07)
+CAPACITY = 0.11
+
+
+class TestExactAccounting:
+    def test_thousands_of_cycles_leave_zero_residue(self):
+        cache = Cache(CAPACITY)
+        for _ in range(2000):
+            for i, size in enumerate(SIZES):
+                assert cache.admit(Dataset(f"d{i}", size))
+            # all three must coexist: their true sum fits exactly
+            assert len(cache.resident) == len(SIZES)
+            for i in range(len(SIZES)):
+                cache.drop(f"d{i}")
+        # bit-exact: an empty cache accounts for exactly zero bytes
+        assert cache.resident == []
+        assert cache.used_bytes == 0.0
+
+    def test_exact_capacity_admit_after_churn(self):
+        """The headline symptom: after churn, a dataset of exactly the
+        cache's capacity must be admitted without touching the (empty)
+        eviction path."""
+        cache = Cache(CAPACITY)
+        for _ in range(2000):
+            for i, size in enumerate(SIZES):
+                cache.admit(Dataset(f"d{i}", size))
+            for i in range(len(SIZES)):
+                cache.drop(f"d{i}")
+        assert cache.admit(Dataset("whole", CAPACITY))  # no DataFabricError
+        assert cache.used_bytes == cache.capacity_bytes
+        assert cache.evictions == 0
+
+    def test_used_bytes_matches_residents_under_eviction_churn(self):
+        """Thousands of admits at (and over) capacity with every policy:
+        the books always equal an fsum over the resident entries and
+        never exceed capacity."""
+        for policy in ("lru", "lfu", "fifo", "largest"):
+            cache = Cache(1.0, policy)
+            rng = random.Random(7)
+            for k in range(3000):
+                size = rng.choice((0.1, 1 / 3, 0.07, 0.25))
+                cache.admit(Dataset(f"d{k}", size))
+                expected = math.fsum(
+                    cache._entries[name].dataset.size_bytes
+                    for name in cache.resident
+                )
+                assert cache.used_bytes == expected
+                assert cache.used_bytes <= cache.capacity_bytes
+
+    def test_drop_unknown_still_raises(self):
+        cache = Cache(1.0)
+        with pytest.raises(DataFabricError):
+            cache.drop("ghost")

@@ -171,6 +171,39 @@ class TestAutoscaler:
         assert all(2 <= c <= 5 for c in capacities)
         assert scaler.current_workers >= 2
 
+    def test_no_scale_down_while_workers_busy(self):
+        """Scale-down needs queue empty AND every worker idle.
+
+        One long request occupies a worker the whole run: the queue is
+        empty throughout, but shrinking before the request finishes
+        would flap capacity under steady load (the old code shrank
+        whenever *any* worker was idle)."""
+        sim, ep = make_endpoint(workers=2, work=50.0)
+        scaler = Autoscaler(ep, ScalingPolicy(
+            min_workers=1, max_workers=4, scale_up_at=10, step=1,
+            interval_s=1.0, provision_delay_s=1.0,
+        ))
+        scaler.start()
+        done = []
+
+        def client():
+            yield ep.invoke("f")
+            done.append(sim.now)
+
+        sim.process(client())
+
+        def stopper():
+            yield Timeout(60.0)
+            scaler.stop()
+
+        sim.process(stopper())
+        sim.run()
+        assert done == [pytest.approx(50.0)]
+        # no capacity change while the request was running
+        assert [e for e in scaler.scaling_events if e[0] < 50.0] == []
+        # once fully drained, the pool does shrink to the floor
+        assert scaler.current_workers == 1
+
     def test_double_start_rejected(self):
         sim, ep = make_endpoint()
         scaler = Autoscaler(ep)

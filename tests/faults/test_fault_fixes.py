@@ -1,0 +1,128 @@
+"""Regression tests for fault-injection accounting bugs.
+
+Two classes of bug used to corrupt long fault schedules:
+
+- brownout recovery round-tripped the *live* bandwidth through
+  ``current * factor`` then ``current * (1 / factor)``, so each cycle
+  could leave ~1 ulp of drift on the link — and overlapping brownouts
+  on one link interacted through the drifted value;
+- overlapping site outages shared a single up/down bit, so the *first*
+  outage to end re-enabled a site that a second, longer outage should
+  have kept dark.
+
+Both are fixed by deriving state from first principles (topology base
+bandwidth x active factors; reference-counted down-depth). These tests
+fail on the old arithmetic.
+"""
+
+import pytest
+
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, GreedyEFTStrategy
+from repro.datafabric import Dataset
+from repro.faults import LinkBrownout, OutageSchedule, SiteOutage
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+class TestBrownoutBitExactRestore:
+    def test_bandwidth_restored_exactly_after_many_cycles(self):
+        """Six brownout cycles with a drift-prone factor (1/3), then a
+        transfer: staging must take *exactly* the nominal time.
+
+        The old code left the link at 99.99999999999999 B/s after the
+        cycles, making the 200 B transfer take 2.0000000000000004 s.
+        """
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=1.0,
+                               bandwidth_Bps=100.0, latency_s=0.0)
+        dag = WorkflowDAG("drift")
+        # gate runs on the edge until every brownout has come and gone
+        dag.add_task(TaskSpec("gate", work=16.0, pinned_site="edge"))
+        dag.add_task(TaskSpec("late", work=0.0, inputs=("raw",),
+                              after=("gate",), pinned_site="cloud"))
+        failures = OutageSchedule()
+        for k in range(6):
+            failures.add(LinkBrownout("edge", "cloud", 2.0 * k, 1.0, 1 / 3))
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(),
+            external_inputs=[(Dataset("raw", 200.0), "edge")],
+            failures=failures,
+        )
+        # bit-exact: 200 B at the pristine 100 B/s, no approx
+        assert result.records["late"].stage_time == 2.0
+
+    def test_overlapping_brownouts_compose_and_restore(self):
+        """Two overlapping brownouts multiply while both are active and
+        the link returns to its exact base rate once both have ended."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=1.0,
+                               bandwidth_Bps=100.0, latency_s=0.0)
+        dag = WorkflowDAG("overlap")
+        dag.add_task(TaskSpec("t1", work=8.0, inputs=("raw",),
+                              pinned_site="cloud"))
+        dag.add_task(TaskSpec("t2", work=0.0, inputs=("raw2",),
+                              after=("t1",), pinned_site="cloud"))
+        failures = OutageSchedule()
+        failures.add(LinkBrownout("edge", "cloud", 0.0, 4.0, 0.5))
+        failures.add(LinkBrownout("edge", "cloud", 2.0, 6.0, 0.5))
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(),
+            external_inputs=[(Dataset("raw", 200.0), "edge"),
+                             (Dataset("raw2", 400.0), "edge")],
+            failures=failures,
+        )
+        # t1 staging: 2 s @ 50 B/s (one brownout) + 2 s @ 25 B/s (both)
+        # + 1 s @ 50 B/s (second only) = 200 B in 5 s
+        assert result.records["t1"].stage_time == pytest.approx(5.0)
+        # t1 executes 8 s -> t2 stages at t=13, after both brownouts:
+        # 400 B at the exact base 100 B/s
+        assert result.records["t2"].stage_time == 4.0
+
+
+class TestOverlappingSiteOutages:
+    def test_site_stays_dark_through_union_of_outages(self):
+        """Edge down on [1, 10) and [5, 20): the first recovery must
+        not revive the site while the second outage still holds it."""
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("union")
+        dag.add_task(TaskSpec("t", work=2.0, pinned_site="edge"))
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 9.0))    # [1, 10)
+        failures.add(SiteOutage("edge", 5.0, 15.0))   # [5, 20)
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(), failures=failures, task_retries=5,
+        )
+        rec = result.records["t"]
+        # the old single-bit bookkeeping restarted the task at t=10
+        assert rec.exec_started == pytest.approx(20.0)
+        assert result.makespan == pytest.approx(22.0)
+        assert result.wasted_exec_s == pytest.approx(1.0)
+
+    def test_nested_outage_recovers_at_outer_end(self):
+        """A short outage fully inside a long one: recovery happens at
+        the *outer* end, not when the nested interval closes."""
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("nested")
+        dag.add_task(TaskSpec("t", work=2.0, pinned_site="edge"))
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 9.0))    # [1, 10)
+        failures.add(SiteOutage("edge", 2.0, 2.0))    # [2, 4) nested
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(), failures=failures, task_retries=5,
+        )
+        rec = result.records["t"]
+        assert rec.exec_started == pytest.approx(10.0)
+        assert result.makespan == pytest.approx(12.0)
+
+    def test_identical_twin_outages_balance(self):
+        """Two outages over the same interval: depth goes 2 -> 0 and
+        the site is usable immediately after."""
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("twins")
+        dag.add_task(TaskSpec("t", work=2.0, pinned_site="edge"))
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 4.0))
+        failures.add(SiteOutage("edge", 1.0, 4.0))
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(), failures=failures, task_retries=5,
+        )
+        assert result.records["t"].exec_started == pytest.approx(5.0)
+        assert result.makespan == pytest.approx(7.0)

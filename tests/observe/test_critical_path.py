@@ -1,0 +1,111 @@
+"""Critical-path extraction: synthetic chains and real scheduler runs."""
+
+import pytest
+
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, GreedyEFTStrategy, TaskRecord
+from repro.datafabric import Dataset
+from repro.observe import critical_path
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+def linear_dag():
+    dag = WorkflowDAG("chain")
+    dag.add_task(TaskSpec("a", work=2.0, outputs=(Dataset("x", 100.0),)))
+    dag.add_task(TaskSpec("b", work=3.0, inputs=("x",), after=("a",)))
+    return dag
+
+
+class TestSyntheticRecords:
+    def test_breakdown_of_hand_built_chain(self):
+        dag = linear_dag()
+        records = {
+            "a": TaskRecord("a", "edge", stage_started=0.0,
+                            stage_finished=0.0, exec_started=0.5,
+                            exec_finished=2.5),
+            "b": TaskRecord("b", "cloud", stage_started=2.5,
+                            stage_finished=4.0, exec_started=4.0,
+                            exec_finished=7.0),
+        }
+        cp = critical_path(records, dag)
+        assert cp.task_names == ["a", "b"]
+        assert cp.makespan_s == 7.0
+        assert cp.compute_s == pytest.approx(5.0)
+        assert cp.transfer_s == pytest.approx(1.5)
+        assert cp.queue_s == pytest.approx(0.5)    # a's slot wait
+        fractions = cp.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_gating_predecessor_chosen_by_latest_finish(self):
+        """Of two dependencies the one finishing *last* gates the join."""
+        dag = WorkflowDAG("join")
+        dag.add_task(TaskSpec("a", work=1.0))
+        dag.add_task(TaskSpec("b", work=5.0))
+        dag.add_task(TaskSpec("c", work=1.0, after=("a", "b")))
+        records = {
+            "a": TaskRecord("a", "e", exec_started=0.0, exec_finished=1.0),
+            "b": TaskRecord("b", "e", exec_started=0.0, exec_finished=5.0),
+            "c": TaskRecord("c", "e", stage_started=5.0, stage_finished=5.0,
+                            exec_started=5.0, exec_finished=6.0),
+        }
+        cp = critical_path(records, dag)
+        assert cp.task_names == ["b", "c"]
+
+    def test_dispatch_gap_attributed(self):
+        """Time between the gate's finish and staging start is a gap
+        (counted into the queue share)."""
+        dag = linear_dag()
+        records = {
+            "a": TaskRecord("a", "e", exec_started=0.0, exec_finished=2.0),
+            "b": TaskRecord("b", "e", stage_started=6.0, stage_finished=6.0,
+                            exec_started=6.0, exec_finished=7.0),
+        }
+        cp = critical_path(records, dag)
+        assert cp.steps[-1].gap_s == pytest.approx(4.0)
+        assert cp.queue_s == pytest.approx(4.0)
+
+    def test_empty_run(self):
+        cp = critical_path({}, WorkflowDAG("none"))
+        assert cp.steps == []
+        assert cp.makespan_s == 0.0
+        assert cp.fractions() == {"compute": 0.0, "transfer": 0.0,
+                                  "queue": 0.0}
+
+    def test_arrival_anchor_shifts_makespan(self):
+        dag = WorkflowDAG("late-job")
+        dag.add_task(TaskSpec("t", work=1.0))
+        records = {
+            "t": TaskRecord("t", "e", stage_started=10.0,
+                            stage_finished=10.0, exec_started=10.0,
+                            exec_finished=11.0),
+        }
+        cp = critical_path(records, dag, arrival_s=10.0)
+        assert cp.makespan_s == 1.0
+        assert cp.steps[0].gap_s == 0.0
+
+
+class TestRealRuns:
+    def test_makespan_matches_scheduler_exactly(self):
+        """Acceptance criterion: for a deterministic DAG the extracted
+        makespan equals the scheduler's reported makespan bit-exactly."""
+        topo = edge_cloud_pair(bandwidth_Bps=1e6, latency_s=0.0)
+        dag = linear_dag()
+        result = ContinuumScheduler(topo).run(dag, GreedyEFTStrategy())
+        cp = critical_path(result, dag)
+        assert cp.makespan_s == result.makespan
+        assert cp.task_names[-1] == max(
+            result.records.values(), key=lambda r: r.exec_finished).task
+
+    def test_chain_is_dependency_connected(self):
+        from repro.workloads import beamline_pipeline
+
+        topo = edge_cloud_pair()
+        dag, externals = beamline_pipeline(4)
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(),
+            external_inputs=[(d, "edge") for d in externals],
+        )
+        cp = critical_path(result, dag)
+        assert cp.makespan_s == result.makespan
+        for earlier, later in zip(cp.task_names, cp.task_names[1:]):
+            assert earlier in dag.dependencies(later)

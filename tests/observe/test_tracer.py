@@ -1,0 +1,152 @@
+"""Tracer span lifecycle: nesting, clocks, sentinels, round trips."""
+
+import json
+
+import pytest
+
+from repro.errors import ObserveError
+from repro.observe import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.simcore import Simulator, Timeout
+
+
+class TestSpanLifecycle:
+    def test_begin_end_duration(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        span = tracer.begin("work", "test", time=1.0)
+        tracer.end(span, time=3.5)
+        assert span.closed
+        assert span.duration_s == pytest.approx(2.5)
+        assert tracer.finished() == [span]
+
+    def test_nesting_via_parent(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        outer = tracer.begin("outer", time=0.0)
+        inner = tracer.begin("inner", parent=outer, time=1.0)
+        tracer.end(inner, time=2.0)
+        tracer.end(outer, time=3.0)
+        assert inner.parent_id == outer.span_id
+        assert tracer.children_of(outer) == [inner]
+
+    def test_double_end_rejected(self):
+        tracer = Tracer(clock=lambda: 1.0)
+        span = tracer.begin("s")
+        tracer.end(span)
+        with pytest.raises(ObserveError, match="already ended"):
+            tracer.end(span)
+
+    def test_end_before_begin_rejected(self):
+        tracer = Tracer()
+        span = tracer.begin("s", time=5.0)
+        with pytest.raises(ObserveError, match="before its begin"):
+            tracer.end(span, time=4.0)
+
+    def test_end_merges_attributes_and_status(self):
+        tracer = Tracer()
+        span = tracer.begin("s", time=0.0, site="edge")
+        tracer.end(span, time=1.0, status="interrupted", cause="outage")
+        assert span.status == "interrupted"
+        assert span.attrs == {"site": "edge", "cause": "outage"}
+
+    def test_context_manager_marks_failure(self):
+        tracer = Tracer(clock=lambda: 2.0)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.finished()
+        assert span.status == "failed"
+
+    def test_instant_is_closed_zero_width(self):
+        tracer = Tracer()
+        mark = tracer.instant("tick", "event", time=4.0)
+        assert mark.instant and mark.closed
+        assert mark.duration_s == 0.0
+
+
+class TestClockBinding:
+    def test_bind_callable(self):
+        tracer = Tracer()
+        tracer.bind(lambda: 42.0)
+        assert tracer.bound
+        assert tracer.now() == 42.0
+
+    def test_bind_object_with_now(self):
+        sim = Simulator()
+        tracer = Tracer()
+        tracer.bind(sim)
+
+        def body():
+            yield Timeout(3.0)
+            tracer.instant("late")
+
+        sim.run_process(body())
+        assert tracer.finished()[0].begin_s == 3.0
+
+    def test_bind_garbage_rejected(self):
+        with pytest.raises(ObserveError):
+            Tracer().bind(object())
+
+    def test_unbound_uses_wall_clock(self):
+        tracer = Tracer()
+        assert not tracer.bound
+        assert tracer.now() >= 0.0
+
+
+class TestDisabledTracing:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.begin("s")
+        assert span is NULL_SPAN
+        tracer.end(span)                  # silently ignored
+        tracer.instant("tick")
+        assert tracer.spans == []
+
+    def test_null_tracer_singleton_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.begin("x") is NULL_SPAN
+        assert NULL_TRACER.spans == []
+
+    def test_end_of_none_is_noop(self):
+        Tracer().end(None)
+
+
+class TestRetrievalAndRoundTrip:
+    def make_tree(self, tracer):
+        root = tracer.begin("task:a", "task", time=0.0)
+        stage = tracer.begin("stage", "phase", parent=root, time=0.0)
+        tracer.end(stage, time=1.0)
+        run = tracer.begin("exec", "phase", parent=root, time=1.0)
+        tracer.end(run, time=4.0)
+        tracer.end(root, time=4.0)
+        tracer.instant("ready", "event", time=0.0)
+        return root
+
+    def test_by_category_and_open(self):
+        tracer = Tracer()
+        self.make_tree(tracer)
+        dangling = tracer.begin("unfinished", time=5.0)
+        assert len(tracer.by_category("phase")) == 2
+        assert tracer.open_spans() == [dangling]
+
+    def test_export_round_trip(self):
+        """Tracer -> Chrome JSON -> serialize -> parse -> validate."""
+        tracer = Tracer()
+        self.make_tree(tracer)
+        doc = json.loads(json.dumps(to_chrome_trace(tracer)))
+        count = validate_chrome_trace(doc)
+        # 1 metadata + 3 B/E pairs + 1 instant
+        assert count == 8
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "B"]
+        assert names == ["task:a", "stage", "exec"]
+
+    def test_clear_resets_ids(self):
+        tracer = Tracer()
+        self.make_tree(tracer)
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.begin("fresh", time=0.0).span_id == 1

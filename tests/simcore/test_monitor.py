@@ -65,6 +65,37 @@ class TestTimeAverage:
         mon.record("level", 7.0, time=3.0)
         assert mon.time_average("level") == 7.0
 
+    def test_single_sample_with_horizon(self):
+        mon = Monitor()
+        mon.record("level", 7.0, time=3.0)
+        # the level holds from its sample to the horizon
+        assert mon.time_average("level", horizon=13.0) == pytest.approx(7.0)
+
+    def test_horizon_before_first_sample(self):
+        """A horizon at or before the first sample has zero width; the
+        first level is the only defensible answer (not NaN or a crash)."""
+        mon = Monitor()
+        mon.record("level", 7.0, time=3.0)
+        mon.record("level", 9.0, time=5.0)
+        assert mon.time_average("level", horizon=1.0) == 7.0
+        assert mon.time_average("level", horizon=3.0) == 7.0
+
+    def test_unsorted_explicit_times_rejected(self):
+        from repro.errors import SimulationError
+
+        mon = Monitor()
+        mon.record("level", 1.0, time=5.0)
+        mon.record("level", 2.0, time=2.0)
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            mon.time_average("level", horizon=10.0)
+
+    def test_duplicate_times_allowed(self):
+        mon = Monitor()
+        mon.record("level", 1.0, time=0.0)
+        mon.record("level", 3.0, time=0.0)   # instantaneous re-level
+        mon.record("level", 3.0, time=4.0)
+        assert mon.time_average("level", horizon=4.0) == pytest.approx(3.0)
+
 
 class TestCountersAndTrace:
     def test_counters_accumulate(self):

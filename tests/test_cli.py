@@ -76,3 +76,26 @@ class TestScheduleCommand:
 
     def test_adaptive_strategy_available(self, capsys):
         assert main(["schedule", "--strategy", "adaptive-ucb"]) == 0
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        from repro.observe import validate_chrome_trace
+
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "--workload", "beamline", "--out", out]) == 0
+        printed = capsys.readouterr().out
+        assert "span summary" in printed
+        assert "critical path" in printed
+        assert "chrome trace written" in printed
+        with open(out, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert validate_chrome_trace(doc) > 0
+
+    def test_trace_without_export(self, capsys):
+        assert main(["trace", "--workload", "stencil", "--out", ""]) == 0
+        printed = capsys.readouterr().out
+        assert "spans" in printed
+        assert "chrome trace written" not in printed

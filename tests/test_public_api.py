@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.faults",
     "repro.workloads",
+    "repro.observe",
     "repro.report",
     "repro.bench",
 ]
