@@ -1,0 +1,32 @@
+"""E13 — recovery-policy shootout under chaos campaigns (tentpole of
+the resilience layer)."""
+
+from conftest import rows_where
+
+from repro.bench.e13_resilience_policies import run_experiment
+
+
+def test_e13_recovery_policies(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": False},
+                           rounds=1, iterations=1)
+    )
+    # resilience paces recovery, it never drops work
+    assert all(r["lost"] == 0 for r in result.rows)
+    # the headline claim: at the highest campaign intensity the full
+    # policy strictly dominates naive retry on wasted work and p99
+    worst = result.rows[-1]["intensity"]
+    naive = rows_where(result, intensity=worst, policy="naive-retry")[0]
+    full = rows_where(result, intensity=worst,
+                      policy="backoff+breakers+hedging")[0]
+    assert full["wasted_pct"] < naive["wasted_pct"]
+    assert full["p99_turnaround_s"] < naive["p99_turnaround_s"]
+    # breakers and hedges actually fired under the heaviest campaign
+    assert full["breaker_trips"] + full["hedges_won"] > 0
+    # backoff+budget paces retries that naive fires immediately
+    backoff = rows_where(result, intensity=worst,
+                         policy="backoff+budget")[0]
+    assert backoff["backoff_s"] > 0.0
+    assert naive["backoff_s"] == 0.0
+    # retry amplification never grows under the disciplined policies
+    assert full["retry_amp"] <= naive["retry_amp"]

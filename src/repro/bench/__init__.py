@@ -1,4 +1,4 @@
-"""Experiment harness: the evaluation suite (E1..E10) of DESIGN.md.
+"""Experiment harness: the evaluation suite (E1..E13) of DESIGN.md.
 
 Each experiment module exposes ``run_experiment(quick=False, seed=0)``
 returning an :class:`ExperimentResult` whose rows are the table/series
@@ -20,6 +20,7 @@ from repro.bench import (
     e10_specialization,
     e11_resilience,
     e12_offered_load,
+    e13_resilience_policies,
 )
 
 EXPERIMENTS = {
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "E10": e10_specialization.run_experiment,
     "E11": e11_resilience.run_experiment,
     "E12": e12_offered_load.run_experiment,
+    "E13": e13_resilience_policies.run_experiment,
 }
 
 __all__ = ["ExperimentResult", "render", "save_result", "EXPERIMENTS"]

@@ -19,13 +19,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment ids (default: all)")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps (default quick when running all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="quick sweeps even for named experiments "
+                             "(CI smoke jobs)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write tables under DIR")
     args = parser.parse_args(argv)
 
     selected = args.experiments or list(EXPERIMENTS)
-    quick = not args.full and not args.experiments
+    quick = args.quick or (not args.full and not args.experiments)
     for exp_id in selected:
         key = exp_id.upper()
         if key not in EXPERIMENTS:

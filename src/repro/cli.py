@@ -10,6 +10,10 @@ Commands
 - ``trace`` — run a workload with span tracing enabled, print the span
   summary and critical-path breakdown, and export a Chrome trace-event
   JSON (load it in ``chrome://tracing`` or https://ui.perfetto.dev),
+- ``chaos`` — run a workload under a seeded chaos campaign (site
+  outages, link brownouts, sick boxes, stragglers, corrupted
+  transfers) with a chosen recovery policy, and report every recovery
+  action the resilience layer took,
 - ``bench`` — alias pointing at :mod:`repro.bench`'s CLI.
 """
 
@@ -29,6 +33,8 @@ from repro.continuum import (
 from repro.core import ContinuumScheduler, slo_report
 from repro.core.strategies import strategy_catalog
 from repro.errors import ContinuumError
+from repro.faults import CAMPAIGN_INTENSITIES, ChaosCampaign
+from repro.resilience import ResiliencePolicy
 from repro.observe import (
     Tracer,
     critical_path,
@@ -177,6 +183,78 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+CHAOS_POLICIES = {
+    "naive": lambda seed: ResiliencePolicy.naive(max_attempts=100),
+    "backoff": lambda seed: ResiliencePolicy.backoff(max_attempts=100,
+                                                     seed=seed),
+    "full": lambda seed: ResiliencePolicy.full(max_attempts=100, seed=seed),
+}
+
+# tracer instants the resilience layer and fault injectors emit; the
+# chaos command reports how often each recovery action fired
+RECOVERY_ACTIONS = (
+    "site_down", "site_up", "brownout_begin", "brownout_end",
+    "chaos_straggler", "interrupted", "retry_backoff",
+    "retry_budget_exhausted", "breaker_open", "breaker_probe",
+    "breaker_close", "hedge_launch", "hedge_won", "hedge_lost",
+    "attempt_timeout",
+)
+
+
+def _cmd_chaos(args) -> int:
+    topo = _get_topology(args.topology)
+    dag, externals = _get_workload(args)
+    peripheral = [s.name for s in topo.sites if s.tier.is_peripheral]
+    sources = peripheral or topo.site_names
+    placed = [(d, sources[i % len(sources)]) for i, d in enumerate(externals)]
+    strategy = _get_strategy(args.strategy)
+    plan = ChaosCampaign.preset(args.intensity, seed=args.seed).build(topo)
+    policy = CHAOS_POLICIES[args.policy](args.seed)
+    tracer = Tracer()
+    sched = ContinuumScheduler(
+        topo, seed=args.seed,
+        transfer_failure_prob=plan.transfer_failure_prob,
+        transfer_max_attempts=10,
+    )
+    result = sched.run(
+        dag, strategy, external_inputs=placed,
+        failures=plan.outages, chaos=plan.task_chaos,
+        resilience=policy, task_retries=100, tracer=tracer,
+    )
+    print(f"chaos campaign {args.intensity!r} (seed {args.seed}) on "
+          f"{topo.name!r}: {plan.site_outage_count} outages, "
+          f"{plan.brownout_count} brownouts, "
+          f"{plan.degraded_window_count} degraded windows, "
+          f"transfer corruption p={plan.transfer_failure_prob:g}")
+    print(f"workflow {dag.name!r} under policy {policy.name!r}: "
+          f"makespan {result.makespan:.3f} s, "
+          f"{len(result.records)} tasks completed, "
+          f"wasted exec {result.wasted_exec_s:.1f} s")
+    print()
+    print("recovery actions:")
+    counts = {}
+    for span in tracer.spans:
+        counts[span.name] = counts.get(span.name, 0) + 1
+    for action in RECOVERY_ACTIONS:
+        if counts.get(action):
+            print(f"  {action:<24} {counts[action]}")
+    stats = result.resilience
+    print()
+    print("resilience stats: " + ", ".join(
+        f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in stats.as_row().items() if k != "policy"
+    ))
+    if args.out:
+        doc = to_chrome_trace(tracer)
+        validate_chrome_trace(doc)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        print()
+        print(f"chrome trace written to {args.out} "
+              f"({len(doc['traceEvents'])} events)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="continuum computing toolkit"
@@ -223,6 +301,24 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--out", metavar="FILE", default="trace.json",
                          help="Chrome trace-event JSON path ('' to skip)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a workload under a seeded chaos campaign"
+    )
+    p_chaos.add_argument("--topology", default="science-grid")
+    p_chaos.add_argument("--workload", choices=sorted(PRESET_WORKLOADS),
+                         default="layered")
+    p_chaos.add_argument("--dag", metavar="FILE", default=None,
+                         help="saved workload JSON (overrides --workload)")
+    p_chaos.add_argument("--strategy", default="greedy-eft")
+    p_chaos.add_argument("--intensity", choices=CAMPAIGN_INTENSITIES,
+                         default="medium")
+    p_chaos.add_argument("--policy", choices=sorted(CHAOS_POLICIES),
+                         default="full")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--out", metavar="FILE", default=None,
+                         help="also export a Chrome trace-event JSON")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     try:

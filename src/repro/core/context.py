@@ -38,6 +38,7 @@ class SchedulingContext:
             raise SchedulingError("no candidate sites")
         self._all_candidates: list[Site] = [topology.site(n) for n in names]
         self._down: set[str] = set()
+        self._vetoed: set[str] = set()
         self._slots: dict[str, np.ndarray] = {
             s.name: np.zeros(s.slots) for s in self._all_candidates
         }
@@ -54,11 +55,13 @@ class SchedulingContext:
 
     @property
     def candidates(self) -> list[Site]:
-        """Candidate sites currently up (failure injection hides the
-        dark ones from strategies)."""
-        if not self._down:
+        """Candidate sites currently up and not vetoed (failure
+        injection hides the dark ones from strategies; circuit breakers
+        veto the unhealthy ones)."""
+        if not self._down and not self._vetoed:
             return list(self._all_candidates)
-        return [s for s in self._all_candidates if s.name not in self._down]
+        blocked = self._down | self._vetoed
+        return [s for s in self._all_candidates if s.name not in blocked]
 
     # -- availability (failure injection) -----------------------------------------
     def mark_down(self, site: str) -> None:
@@ -71,6 +74,13 @@ class SchedulingContext:
 
     def is_down(self, site: str) -> bool:
         return site in self._down
+
+    # -- health vetoes (resilience policies) ---------------------------------------
+    def set_vetoed(self, sites) -> None:
+        """Replace the veto set: sites hidden from strategies without
+        being down (open circuit breakers, hedge-duplicate exclusion).
+        The scheduler recomputes this before every placement round."""
+        self._vetoed = set(sites)
 
     # -- clock (scheduler-maintained) ------------------------------------------
     @property

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.resilience.policy import ResilienceStats
 from repro.utils.stats import summarize
 
 
@@ -80,6 +81,7 @@ class ScheduleResult:
     site_busy_s: dict[str, float] = field(default_factory=dict)
     interruptions: int = 0       # task executions cut short by outages
     wasted_exec_s: float = 0.0   # execution seconds lost to interrupts
+    resilience: ResilienceStats | None = None   # recovery-action accounting
 
     @property
     def total_usd(self) -> float:

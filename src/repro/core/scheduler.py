@@ -20,10 +20,26 @@ Execution semantics per task:
 5. its outputs register as replicas at the site, releasing dependents.
 
 Failure injection (an :class:`OutageSchedule`) interrupts staging/running
-tasks at a dark site; they are re-placed by the strategy with bounded
-retries, and link brownouts degrade live network capacity while planner
-estimates stay stale. Site *storage* survives compute outages (replicas
-remain fetchable).
+tasks at a dark site; they are re-placed by the strategy, and link
+brownouts degrade live network capacity while planner estimates stay
+stale. Site *storage* survives compute outages (replicas remain
+fetchable). A :class:`~repro.faults.TaskChaos` injector additionally
+fails or slows individual execution attempts on a deterministic
+per-(task, attempt, site) key.
+
+How failed attempts are *re-tried* is policy. Without a
+:class:`~repro.resilience.ResiliencePolicy` the scheduler keeps its
+seed behaviour: immediate requeue with at most ``task_retries``
+retries. With one, recovery is governed end to end: exponential
+backoff with seeded jitter and a run-wide fast-retry budget, per-site
+circuit breakers consulted at placement (open circuits are hidden from
+strategies; half-open circuits admit one probe), per-attempt timeouts
+derived from the planner estimate, and speculative hedging that races
+a straggling attempt against a duplicate on another site and cancels
+the loser. Every recovery action is emitted as an ``observe`` span and
+counted in :class:`~repro.resilience.ResilienceStats` on the result;
+hedged duplicates are tracked attempt-by-attempt so makespan,
+utilization, and wasted-work accounting stay exact.
 
 Estimates used by strategies come from the same cost model but ignore
 network contention — the planned-vs-measured gap is real and intended.
@@ -32,7 +48,7 @@ network contention — the planned-vs-measured gap is real and intended.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.continuum.topology import Topology
 from repro.core.context import SchedulingContext
@@ -41,10 +57,13 @@ from repro.core.strategies.base import PlacementStrategy
 from repro.datafabric.catalog import ReplicaCatalog
 from repro.datafabric.dataset import Dataset
 from repro.datafabric.transfer import TransferService
-from repro.errors import SchedulingError
+from repro.errors import DataFabricError, SchedulingError
+from repro.faults.campaign import TaskChaos
 from repro.faults.outages import OutageSchedule, SiteOutage
 from repro.netsim.network import FlowNetwork
 from repro.observe.tracer import NULL_TRACER, Tracer
+from repro.resilience.breaker import BreakerState
+from repro.resilience.policy import ResiliencePolicy, ResilienceStats
 from repro.simcore.monitor import Monitor
 from repro.simcore.process import AllOf, Interrupt, Timeout
 from repro.simcore.resources import Resource
@@ -52,6 +71,14 @@ from repro.simcore.simulation import Simulator
 from repro.utils.rng import RngRegistry
 from repro.workflow.dag import WorkflowDAG
 from repro.workflow.task import TaskSpec
+
+
+class _TransientFault(Exception):
+    """Internal: a chaos-injected mid-execution task fault."""
+
+    def __init__(self, cause: str):
+        self.cause = cause
+        super().__init__(cause)
 
 
 @dataclass(frozen=True)
@@ -96,6 +123,7 @@ class StreamResult:
     energy_j: float
     interruptions: int = 0
     wasted_exec_s: float = 0.0
+    resilience: ResilienceStats | None = None
 
     @property
     def last_finish(self) -> float:
@@ -135,6 +163,8 @@ class ContinuumScheduler:
         *,
         external_inputs: Iterable[tuple[Dataset, str]] = (),
         failures: OutageSchedule | None = None,
+        chaos: TaskChaos | None = None,
+        resilience: ResiliencePolicy | None = None,
         task_retries: int = 2,
         until: float | None = None,
         tracer: Tracer | None = None,
@@ -144,15 +174,19 @@ class ContinuumScheduler:
         ``external_inputs`` provides (dataset, site) pairs for every
         dataset the DAG consumes but does not produce. Raises
         :class:`SchedulingError` on missing externals or failed tasks.
-        Pass a :class:`~repro.observe.Tracer` to record per-task,
-        per-transfer, and fault-injection spans; tracing never changes
-        the schedule (it only reads the clock).
+        ``failures`` injects site outages and link brownouts; ``chaos``
+        injects per-attempt transient faults and stragglers;
+        ``resilience`` selects the recovery policy (``None`` keeps the
+        legacy immediate-requeue behaviour with ``task_retries``
+        retries). Pass a :class:`~repro.observe.Tracer` to record
+        per-task, per-transfer, fault-injection, and recovery spans;
+        tracing never changes the schedule (it only reads the clock).
         """
         dag.validate()
         job = StreamJob(0.0, dag, tuple(external_inputs))
         run = _Run(self, [job], strategy,
-                   failures=failures, task_retries=task_retries,
-                   tracer=tracer)
+                   failures=failures, chaos=chaos, resilience=resilience,
+                   task_retries=task_retries, tracer=tracer)
         run.execute(until=until)
         return run.single_result()
 
@@ -162,6 +196,8 @@ class ContinuumScheduler:
         strategy: PlacementStrategy,
         *,
         failures: OutageSchedule | None = None,
+        chaos: TaskChaos | None = None,
+        resilience: ResiliencePolicy | None = None,
         task_retries: int = 2,
         until: float | None = None,
         tracer: Tracer | None = None,
@@ -180,8 +216,8 @@ class ContinuumScheduler:
         for job in job_list:
             job.dag.validate()
         run = _Run(self, job_list, strategy,
-                   failures=failures, task_retries=task_retries,
-                   tracer=tracer)
+                   failures=failures, chaos=chaos, resilience=resilience,
+                   task_retries=task_retries, tracer=tracer)
         run.execute(until=until)
         return run.stream_result()
 
@@ -192,14 +228,24 @@ class _Run:
     def __init__(self, sched: ContinuumScheduler, jobs: list[StreamJob],
                  strategy: PlacementStrategy,
                  failures: OutageSchedule | None = None,
+                 chaos: TaskChaos | None = None,
+                 resilience: ResiliencePolicy | None = None,
                  task_retries: int = 2,
                  tracer: Tracer | None = None):
         self.jobs = jobs
         self.strategy = strategy
         self.failures = failures
+        self.chaos = chaos if (chaos is not None and not chaos.empty) else None
         if task_retries < 0:
             raise SchedulingError(f"task_retries must be >= 0, got {task_retries}")
         self.task_retries = task_retries
+        self.resilience = resilience
+        self.budget = resilience.make_budget() if resilience else None
+        self.breakers = resilience.make_breakers() if resilience else None
+        self.hedge = resilience.hedge if resilience else None
+        self.stats = ResilienceStats(
+            policy=resilience.name if resilience else "none"
+        )
         self.sim = Simulator()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if tracer is not None:
@@ -250,7 +296,15 @@ class _Run:
         self.energy_j = 0.0
         self.site_busy: dict[str, float] = {s.name: 0.0 for s in self.ctx.candidates}
         self.attempts: dict[str, int] = {n: 0 for n in self._dag_of}
-        self._active_at: dict[str, tuple] = {}   # task -> (Process, site)
+        self.failures_of: dict[str, int] = {n: 0 for n in self._dag_of}
+        self.attempt_log: dict[str, list[str]] = {n: [] for n in self._dag_of}
+        # task -> attempt_id -> (Process, site); several attempts of one
+        # task run concurrently only while a hedge duplicate races
+        self._active_at: dict[str, dict[int, tuple]] = {}
+        self._attempt_seq = 0
+        self._timeout_events: dict[int, object] = {}
+        self._hedges_of: dict[str, int] = {n: 0 for n in self._dag_of}
+        self._probe_wake_at: float | None = None
         self.interruptions = 0
         self.wasted_exec_s = 0.0
         # failure-injection state: overlapping outages of one site are
@@ -294,6 +348,7 @@ class _Run:
 
         if self.failed_tasks:
             failed = ", ".join(sorted(self.failed_tasks))
+            self.stats.lost_tasks = len(self.failed_tasks)
             raise SchedulingError(
                 f"tasks failed during run: {failed}"
             ) from next(iter(self.failed_tasks.values()))
@@ -317,6 +372,15 @@ class _Run:
         self._schedule_dispatch()
 
     # -- results --------------------------------------------------------------------
+    def _final_stats(self) -> ResilienceStats:
+        self.stats.attempts_total = sum(self.attempts.values())
+        if self.breakers is not None:
+            self.stats.breaker_trips = self.breakers.total_trips
+            self.stats.breaker_probes = self.breakers.total_probes
+        if self.budget is not None:
+            self.stats.budget_denials = self.budget.denied
+        return self.stats
+
     def single_result(self) -> ScheduleResult:
         job = self.jobs[0]
         makespan = max(
@@ -335,6 +399,7 @@ class _Run:
             site_busy_s=self.site_busy,
             interruptions=self.interruptions,
             wasted_exec_s=self.wasted_exec_s,
+            resilience=self._final_stats(),
         )
 
     def stream_result(self) -> StreamResult:
@@ -357,6 +422,7 @@ class _Run:
             energy_j=self.energy_j,
             interruptions=self.interruptions,
             wasted_exec_s=self.wasted_exec_s,
+            resilience=self._final_stats(),
         )
 
     # -- failure injection ---------------------------------------------------------
@@ -379,7 +445,9 @@ class _Run:
         if outage.site in self.ctx._slots:
             self.ctx.mark_down(outage.site)
         victims = [
-            (name, proc) for name, (proc, site) in self._active_at.items()
+            (name, proc)
+            for name, attempts in self._active_at.items()
+            for _aid, (proc, site) in attempts.items()
             if site == outage.site
         ]
         for _name, proc in victims:
@@ -424,66 +492,204 @@ class _Run:
             self._dispatch_scheduled = True
             self.sim.schedule(0.0, self._dispatch)
 
+    def _breaker_vetoes(self) -> set[str]:
+        """Candidate sites whose circuit is currently open."""
+        if self.breakers is None:
+            return set()
+        now = self.sim.now
+        return {
+            s.name for s in self.ctx.candidates
+            if self.breakers.blocked(s.name, now)
+        }
+
+    def _schedule_probe_wake(self) -> None:
+        """Re-dispatch when the earliest open breaker half-opens, so
+        work held back by vetoes is not stranded."""
+        if self.breakers is None:
+            return
+        t = self.breakers.next_probe_at(self.sim.now)
+        if t is None or t <= self.sim.now:
+            return
+        if self._probe_wake_at is not None and self._probe_wake_at <= t:
+            return
+        self._probe_wake_at = t
+        self.sim.schedule_at(t, self._probe_wake)
+
+    def _probe_wake(self) -> None:
+        self._probe_wake_at = None
+        if self.ready:
+            self._schedule_dispatch()
+
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
         if not self.ready:
             return
         self.ctx.set_now(self.sim.now)
-        if not self.ctx.candidates:
-            # every candidate site is dark: hold the ready set until a
-            # recovery event re-triggers dispatch
-            return
-        batch, self.ready = self.ready, []
-        for task in self.strategy.prioritize(batch, self.ctx):
-            if task.pinned_site and self.ctx.is_down(task.pinned_site):
-                # pinned to a dark site: hold until it recovers
-                self.ready.append(task)
-                continue
-            try:
-                site_name = task.pinned_site or self.strategy.select_site(
-                    task, self.ctx
-                )
-            except SchedulingError:
-                if self.failures is not None:
-                    # transiently unplaceable (e.g. the strategy's whole
-                    # tier is dark): hold until a recovery event
+        vetoed = self._breaker_vetoes()
+        self.ctx.set_vetoed(vetoed)
+        try:
+            if not self.ctx.candidates:
+                # every candidate site is dark or vetoed: hold the ready
+                # set until a recovery event or probe re-triggers dispatch
+                self._schedule_probe_wake()
+                return
+            batch, self.ready = self.ready, []
+            for task in self.strategy.prioritize(batch, self.ctx):
+                if task.pinned_site and self.ctx.is_down(task.pinned_site):
+                    # pinned to a dark site: hold until it recovers
+                    # (pins override breaker vetoes — there is no choice)
                     self.ready.append(task)
                     continue
-                raise
-            if site_name not in self.resources:
-                raise SchedulingError(
-                    f"strategy chose non-candidate site {site_name!r} "
-                    f"for task {task.name!r}"
+                try:
+                    site_name = task.pinned_site or self.strategy.select_site(
+                        task, self.ctx
+                    )
+                except SchedulingError:
+                    if self.failures is not None or vetoed:
+                        # transiently unplaceable (e.g. the strategy's whole
+                        # tier is dark or vetoed): hold until recovery
+                        self.ready.append(task)
+                        continue
+                    raise
+                if site_name not in self.resources:
+                    raise SchedulingError(
+                        f"strategy chose non-candidate site {site_name!r} "
+                        f"for task {task.name!r}"
+                    )
+                est, est_finish = self.ctx.estimate_finish(
+                    task, self.ctx.site(site_name)
                 )
+                self.ctx.reserve(site_name, est_finish)
+                decision = PlacementDecision(
+                    task=task.name, site=site_name, decided_at=self.sim.now,
+                    est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
+                    est_finish=est_finish,
+                )
+                self.decisions.append(decision)
+                self._start_attempt(task, site_name, decision)
+            if self.ready:
+                self._schedule_probe_wake()
+        finally:
+            self.ctx.set_vetoed(())
+
+    # -- attempt lifecycle -----------------------------------------------------------
+    def _start_attempt(self, task: TaskSpec, site_name: str,
+                       decision: PlacementDecision,
+                       is_hedge: bool = False) -> None:
+        """Launch one execution attempt (primary or hedge duplicate)."""
+        attempt_id = self._attempt_seq
+        self._attempt_seq += 1
+        now = self.sim.now
+        if self.breakers is not None:
+            breaker = self.breakers.get(site_name)
+            if breaker.state(now) is BreakerState.HALF_OPEN:
+                breaker.note_probe(now)
+                self.tracer.instant("breaker_probe", "resilience",
+                                    site=site_name, task=task.name)
+        proc = self.sim.process(
+            self._task_proc(task, site_name, decision, attempt_id,
+                            is_hedge=is_hedge),
+            name=f"task:{task.name}#{attempt_id}",
+        )
+        self._active_at.setdefault(task.name, {})[attempt_id] = (proc, site_name)
+        if self.resilience is not None:
+            timeout_s = self.resilience.attempt_timeout_s(
+                decision.est_stage_s + decision.est_exec_s
+            )
+            if timeout_s is not None:
+                self._timeout_events[attempt_id] = self.sim.schedule(
+                    timeout_s, self._attempt_timeout,
+                    task.name, attempt_id, site_name, timeout_s,
+                )
+        if (self.hedge is not None and not is_hedge
+                and task.pinned_site is None
+                and self._hedges_of[task.name] < self.hedge.max_hedges):
+            self.sim.schedule_at(
+                self.hedge.hedge_at(now, decision.est_finish),
+                self._maybe_hedge, task.name, attempt_id,
+            )
+
+    def _end_attempt(self, name: str, attempt_id: int) -> None:
+        """Drop attempt bookkeeping (watchdog event included)."""
+        attempts = self._active_at.get(name)
+        if attempts is not None:
+            attempts.pop(attempt_id, None)
+            if not attempts:
+                del self._active_at[name]
+        event = self._timeout_events.pop(attempt_id, None)
+        if event is not None:
+            self.sim.cancel(event)
+
+    def _attempt_timeout(self, name: str, attempt_id: int,
+                         site_name: str, timeout_s: float) -> None:
+        """Watchdog: an attempt exceeded its policy deadline."""
+        self._timeout_events.pop(attempt_id, None)
+        entry = self._active_at.get(name, {}).get(attempt_id)
+        if entry is None:
+            return
+        proc, _site = entry
+        self.stats.timeouts += 1
+        self.tracer.instant("attempt_timeout", "resilience", task=name,
+                            site=site_name, timeout_s=timeout_s)
+        proc.interrupt(cause=f"timeout@{site_name}")
+
+    def _maybe_hedge(self, name: str, attempt_id: int) -> None:
+        """Hedge-check fired: duplicate the attempt if it is straggling."""
+        if name in self.records or self.hedge is None:
+            return
+        attempts = self._active_at.get(name)
+        if not attempts or attempt_id not in attempts:
+            return   # that attempt already ended; its successor re-arms
+        if self._hedges_of[name] >= self.hedge.max_hedges:
+            return
+        task = self._dag_of[name].task(name)
+        self.ctx.set_now(self.sim.now)
+        running_sites = {site for _proc, site in attempts.values()}
+        self.ctx.set_vetoed(self._breaker_vetoes() | running_sites)
+        try:
+            if not self.ctx.candidates:
+                return
+            try:
+                site_name = self.strategy.select_site(task, self.ctx)
+            except SchedulingError:
+                return
+            if site_name not in self.resources:
+                return
             est, est_finish = self.ctx.estimate_finish(
                 task, self.ctx.site(site_name)
             )
-            self.ctx.reserve(site_name, est_finish)
-            decision = PlacementDecision(
-                task=task.name, site=site_name, decided_at=self.sim.now,
-                est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
-                est_finish=est_finish,
-            )
-            self.decisions.append(decision)
-            proc = self.sim.process(
-                self._task_proc(task, site_name, decision),
-                name=f"task:{task.name}",
-            )
-            self._active_at[task.name] = (proc, site_name)
+        finally:
+            self.ctx.set_vetoed(())
+        self.ctx.reserve(site_name, est_finish)
+        decision = PlacementDecision(
+            task=name, site=site_name, decided_at=self.sim.now,
+            est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
+            est_finish=est_finish,
+        )
+        self.decisions.append(decision)
+        self._hedges_of[name] += 1
+        self.stats.hedges_launched += 1
+        self.tracer.instant("hedge_launch", "resilience", task=name,
+                            site=site_name,
+                            racing={s for s in running_sites} and
+                                   sorted(running_sites))
+        self._start_attempt(task, site_name, decision, is_hedge=True)
 
     def _task_proc(self, task: TaskSpec, site_name: str,
-                   decision: PlacementDecision):
+                   decision: PlacementDecision, attempt_id: int,
+                   is_hedge: bool = False):
         site = self.ctx.site(site_name)
         self.attempts[task.name] += 1
+        attempt_no = self.attempts[task.name]
         record = TaskRecord(
             task=task.name, site=site_name, kind=task.kind,
             ready_at=self.sim.now, deadline_s=task.deadline_s,
-            attempts=self.attempts[task.name],
+            attempts=attempt_no,
         )
         tracer = self.tracer
         tspan = tracer.begin(
             f"task:{task.name}", "task", site=site_name, kind=task.kind,
-            attempt=self.attempts[task.name],
+            attempt=attempt_no, hedge=is_hedge,
             est_stage_s=decision.est_stage_s,
             est_exec_s=decision.est_exec_s,
             est_finish=decision.est_finish,
@@ -510,6 +716,21 @@ class _Run:
             exec_started = True
             phase = tracer.begin("exec", "exec", parent=tspan)
             exec_time = site.service_time(task.work, kind=task.kind)
+            fate = None
+            if self.chaos is not None:
+                fate = self.chaos.fate(task.name, attempt_no, site_name,
+                                       self.sim.now)
+                if fate.slowdown > 1.0:
+                    exec_time *= fate.slowdown
+                    self.tracer.instant(
+                        "chaos_straggler", "fault", task=task.name,
+                        site=site_name, slowdown=fate.slowdown,
+                    )
+            if fate is not None and fate.fail_after_frac is not None:
+                partial = exec_time * fate.fail_after_frac
+                if partial > 0:
+                    yield Timeout(partial)
+                raise _TransientFault(f"transient@{site_name}")
             if exec_time > 0:
                 yield Timeout(exec_time)
             self.resources[site_name].release(req)
@@ -518,68 +739,186 @@ class _Run:
             tracer.end(phase)
             tracer.end(tspan)
         except Interrupt as intr:
-            tracer.end(phase, status="interrupted")
-            tracer.end(tspan, status="interrupted", cause=intr.cause)
-            self._on_interrupt(task, site_name, record, req, exec_started, intr)
+            cause = str(intr.cause or "")
+            status = ("cancelled" if cause == "hedge-cancel"
+                      else "interrupted")
+            tracer.end(phase, status=status)
+            tracer.end(tspan, status=status, cause=intr.cause)
+            self._on_attempt_end(task, site_name, record, attempt_id,
+                                 req=req, req_held=False,
+                                 exec_started=exec_started, cause=cause,
+                                 is_hedge=is_hedge)
             return
-        except Exception as exc:  # noqa: BLE001 - recorded, re-raised at end
+        except _TransientFault as fault:
+            self.stats.transient_faults += 1
+            tracer.end(phase, status="failed")
+            tracer.end(tspan, status="failed", cause=fault.cause)
+            self._on_attempt_end(task, site_name, record, attempt_id,
+                                 req=req, req_held=True,
+                                 exec_started=True, cause=fault.cause,
+                                 is_hedge=is_hedge)
+            return
+        except Exception as exc:  # noqa: BLE001 - recorded, or retried by policy
             tracer.end(phase, status="failed")
             tracer.end(tspan, status="failed", error=repr(exc))
-            self._active_at.pop(task.name, None)
+            if (self.resilience is not None
+                    and isinstance(exc, DataFabricError)):
+                # corrupted staging is transient under a recovery policy
+                self._on_attempt_end(task, site_name, record, attempt_id,
+                                     req=req, req_held=False,
+                                     exec_started=exec_started,
+                                     cause=f"staging@{site_name}: {exc}",
+                                     is_hedge=is_hedge)
+                return
+            self._end_attempt(task.name, attempt_id)
             self.failed_tasks[task.name] = exc
             return
-        self._active_at.pop(task.name, None)
+        self._complete_attempt(task, site_name, record, attempt_id,
+                               is_hedge=is_hedge)
 
+    def _complete_attempt(self, task: TaskSpec, site_name: str,
+                          record: TaskRecord, attempt_id: int,
+                          is_hedge: bool) -> None:
+        """An attempt ran to completion; first finisher wins the task."""
+        name = task.name
+        self._end_attempt(name, attempt_id)
+        if name in self.records:
+            # a sibling won at this same instant; count this as waste
+            self.wasted_exec_s += record.exec_time
+            self.site_busy[site_name] += record.exec_time
+            site = self.ctx.site(site_name)
+            self.energy_j += site.power.marginal_energy(record.exec_time)
+            self.stats.hedges_lost += 1
+            return
+        # cancel racing duplicates (hedge losers)
+        for _aid, (proc, loser_site) in list(
+                self._active_at.get(name, {}).items()):
+            proc.interrupt(cause="hedge-cancel")
+        if is_hedge:
+            self.stats.hedges_won += 1
+            self.tracer.instant("hedge_won", "resilience", task=name,
+                                site=site_name)
+        if self.breakers is not None:
+            breaker = self.breakers.get(site_name)
+            if breaker.state(self.sim.now) is not BreakerState.CLOSED:
+                self.tracer.instant("breaker_close", "resilience",
+                                    site=site_name)
+            breaker.record_success(self.sim.now)
+
+        site = self.ctx.site(site_name)
         record.energy_j = site.power.marginal_energy(record.exec_time)
         record.compute_usd = site.pricing.compute_cost(record.exec_time)
+        record.attempts = self.attempts[name]
         self.energy_j += record.energy_j
         self.compute_usd += record.compute_usd
         self.site_busy[site_name] += record.exec_time
-        self.records[task.name] = record
+        self.records[name] = record
         for out in task.outputs:
             self.catalog.add_replica(out.name, site_name, time=self.sim.now)
         self.strategy.observe(record, self.ctx)
 
-        job_idx = self._job_of[task.name]
+        job_idx = self._job_of[name]
         self._job_pending[job_idx] -= 1
         if self._job_pending[job_idx] == 0:
             self._job_finish[job_idx] = self.sim.now
 
-        dag = self._dag_of[task.name]
-        for dependent in dag.dependents(task.name):
+        dag = self._dag_of[name]
+        for dependent in dag.dependents(name):
             self.remaining[dependent] -= 1
             if self.remaining[dependent] == 0:
                 self.ready.append(dag.task(dependent))
                 self.tracer.instant("ready", "scheduler", task=dependent)
                 self._schedule_dispatch()
 
-    def _on_interrupt(self, task: TaskSpec, site_name: str,
-                      record: TaskRecord, req, exec_started: bool,
-                      intr: Interrupt) -> None:
-        """An outage cut this attempt short: clean up and re-place."""
-        self._active_at.pop(task.name, None)
-        self.interruptions += 1
-        self.tracer.instant(
-            "interrupted", "scheduler", task=task.name, site=site_name,
-            cause=intr.cause,
-            wasted_s=(self.sim.now - record.exec_started
-                      if exec_started else 0.0),
-        )
+    def _on_attempt_end(self, task: TaskSpec, site_name: str,
+                        record: TaskRecord, attempt_id: int, *,
+                        req, req_held: bool, exec_started: bool,
+                        cause: str, is_hedge: bool) -> None:
+        """An attempt ended without producing the task's result: an
+        outage or timeout interrupt, a chaos transient fault, a hedge
+        cancellation, or (policy-gated) a staging failure. Clean up,
+        account the waste exactly, then decide whether to retry."""
+        name = task.name
+        self._end_attempt(name, attempt_id)
         if req is not None:
-            self.resources[site_name].cancel(req)
+            if req_held:
+                self.resources[site_name].release(req)
+            else:
+                self.resources[site_name].cancel(req)
         if exec_started:
             wasted = self.sim.now - record.exec_started
             self.wasted_exec_s += wasted
             self.site_busy[site_name] += wasted  # the slot really burned
             site = self.ctx.site(site_name)
             self.energy_j += site.power.marginal_energy(wasted)
-        if self.attempts[task.name] > self.task_retries:
-            self.failed_tasks[task.name] = SchedulingError(
-                f"task {task.name!r} interrupted {self.attempts[task.name]} "
-                f"times (cause: {intr.cause}); retries exhausted"
+        else:
+            wasted = 0.0
+
+        if cause == "hedge-cancel":
+            self.stats.hedges_lost += 1
+            self.tracer.instant("hedge_lost", "resilience", task=name,
+                                site=site_name, wasted_s=wasted)
+            return
+        if cause.startswith("outage@"):
+            self.interruptions += 1
+        self.tracer.instant(
+            "interrupted", "scheduler", task=name, site=site_name,
+            cause=cause, wasted_s=wasted,
+        )
+        self.failures_of[name] += 1
+        self.attempt_log[name].append(
+            f"attempt {self.failures_of[name]} at {site_name}: {cause}"
+        )
+        if self.breakers is not None and not cause.startswith("staging@"):
+            breaker = self.breakers.get(site_name)
+            trips_before = breaker.trips
+            breaker.record_failure(self.sim.now)
+            if breaker.trips > trips_before:
+                self.tracer.instant("breaker_open", "resilience",
+                                    site=site_name,
+                                    failures=self.failures_of[name])
+
+        if self._active_at.get(name):
+            # a hedge duplicate is still racing; it owns the outcome now
+            return
+        if name in self.records:
+            return
+        self._retry_or_fail(task, cause)
+
+    def _retry_or_fail(self, task: TaskSpec, cause: str) -> None:
+        name = task.name
+        failures = self.failures_of[name]
+        if self.resilience is not None:
+            allowed = self.resilience.retry.allows_retry(failures)
+        else:
+            allowed = failures <= self.task_retries
+        if not allowed:
+            history = "; ".join(self.attempt_log[name])
+            self.failed_tasks[name] = SchedulingError(
+                f"task {name!r} interrupted {failures} times "
+                f"(cause: {cause}); retries exhausted [{history}]"
             )
+            return
+        delay = 0.0
+        if self.resilience is not None:
+            delay = self.resilience.retry.delay_s(failures, key=name)
+            if self.budget is not None and not self.budget.acquire():
+                delay = max(delay, self.budget.cooldown_s)
+                self.tracer.instant("retry_budget_exhausted", "resilience",
+                                    task=name, cooldown_s=delay)
+        self.stats.retries += 1
+        self.stats.backoff_delay_s += delay
+        if delay > 0:
+            self.tracer.instant("retry_backoff", "resilience", task=name,
+                                delay_s=delay, failures=failures)
+            self.sim.schedule(delay, self._requeue, task, cause)
+        else:
+            self._requeue(task, cause)
+
+    def _requeue(self, task: TaskSpec, cause: str) -> None:
+        if task.name in self.records:
             return
         self.ready.append(task)
         self.tracer.instant("ready", "scheduler", task=task.name,
-                            requeued_after=intr.cause)
+                            requeued_after=cause)
         self._schedule_dispatch()

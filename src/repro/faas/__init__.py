@@ -19,7 +19,11 @@ from repro.faas.endpoint import Endpoint, InvocationRecord
 from repro.faas.batching import Batcher, BatchPolicy
 from repro.faas.autoscaler import Autoscaler, ScalingPolicy
 from repro.faas.fabric import FaaSFabric
-from repro.faas.routing import estimate_total_latency, pick_endpoint
+from repro.faas.routing import (
+    estimate_total_latency,
+    healthy_endpoints,
+    pick_endpoint,
+)
 
 __all__ = [
     "FunctionDef",
@@ -34,5 +38,6 @@ __all__ = [
     "ScalingPolicy",
     "FaaSFabric",
     "pick_endpoint",
+    "healthy_endpoints",
     "estimate_total_latency",
 ]

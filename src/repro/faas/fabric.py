@@ -110,13 +110,20 @@ class FaaSFabric:
         return signal
 
     def invoke_via(self, function: str, *, client_site: str,
-                   policy: str = "fastest", **kwargs) -> Signal:
+                   policy: str = "fastest", breakers=None, avoid=(),
+                   **kwargs) -> Signal:
         """Route with a named policy (see :mod:`repro.faas.routing`)
-        then invoke — the one-call client most applications want."""
+        then invoke — the one-call client most applications want.
+
+        ``breakers`` (a :class:`~repro.resilience.BreakerRegistry`) and
+        ``avoid`` make routing health-aware: endpoints with an open
+        circuit are skipped unless no healthy endpoint remains.
+        """
         from repro.faas.routing import pick_endpoint
 
         endpoint_site = pick_endpoint(self, function, client_site,
-                                      policy=policy)
+                                      policy=policy, breakers=breakers,
+                                      avoid=avoid)
         return self.invoke(function, client_site=client_site,
                            endpoint_site=endpoint_site, **kwargs)
 

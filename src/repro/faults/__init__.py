@@ -9,9 +9,21 @@ models those as *scheduled* events so experiments stay reproducible:
   tasks (see ``ContinuumScheduler(failures=...)``),
 - :class:`LinkBrownout` — a link's bandwidth degrading for an interval,
   applied live to the flow network,
-- generators — Poisson outage processes over a topology's sites.
+- generators — Poisson outage processes over a topology's sites,
+- :mod:`repro.faults.campaign` — composable chaos campaigns layering
+  outages, brownouts, degraded-site windows, transient task faults,
+  stragglers, and corrupted transfers into one reproducible schedule
+  (``python -m repro chaos`` runs one from the command line).
 """
 
+from repro.faults.campaign import (
+    CAMPAIGN_INTENSITIES,
+    CampaignPlan,
+    ChaosCampaign,
+    TaskChaos,
+    TaskFate,
+    poisson_brownouts,
+)
 from repro.faults.outages import (
     LinkBrownout,
     OutageSchedule,
@@ -24,4 +36,10 @@ __all__ = [
     "LinkBrownout",
     "OutageSchedule",
     "poisson_outages",
+    "poisson_brownouts",
+    "TaskFate",
+    "TaskChaos",
+    "ChaosCampaign",
+    "CampaignPlan",
+    "CAMPAIGN_INTENSITIES",
 ]

@@ -1,0 +1,50 @@
+"""Speculative re-execution of straggling tasks ("hedging").
+
+The tail-at-scale defence: when an attempt has run well past its
+estimate, launch a duplicate on a *different* site and let the two
+race; the first finisher wins and the loser is cancelled.  Hedging
+trades a bounded amount of wasted work for a much shorter latency
+tail — E13 quantifies both sides of that trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how to hedge a straggling attempt.
+
+    An attempt placed at ``t0`` with estimated finish ``t_est`` is
+    declared straggling at::
+
+        t0 + (t_est - t0) * trigger_factor + min_head_start_s
+
+    if it has not completed by then.  ``max_hedges`` bounds duplicates
+    per task (per attempt chain); a hedge is only launched when a site
+    other than the ones already running the task is available.
+    """
+
+    trigger_factor: float = 1.5
+    min_head_start_s: float = 0.0
+    max_hedges: int = 1
+
+    def __post_init__(self):
+        if self.trigger_factor < 1.0:
+            raise ConfigurationError(
+                f"trigger_factor must be >= 1, got {self.trigger_factor}"
+            )
+        check_non_negative("min_head_start_s", self.min_head_start_s)
+        if self.max_hedges < 1:
+            raise ConfigurationError(
+                f"max_hedges must be >= 1, got {self.max_hedges}"
+            )
+
+    def hedge_at(self, placed_at: float, est_finish: float) -> float:
+        """Absolute instant at which to check-and-hedge this attempt."""
+        horizon = max(est_finish - placed_at, 0.0)
+        return placed_at + horizon * self.trigger_factor + self.min_head_start_s

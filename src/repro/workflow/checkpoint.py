@@ -18,7 +18,13 @@ _FORMAT_VERSION = 1
 
 
 def save_checkpoint(path: str, table: dict) -> None:
-    """Atomically write the memo table to ``path``."""
+    """Atomically and durably write the memo table to ``path``.
+
+    The temp file is fsynced before the rename so a crash right after
+    :func:`os.replace` cannot leave ``path`` pointing at unwritten
+    data; a failure at any step leaves the old checkpoint intact and no
+    ``.ckpt.tmp`` litter behind.
+    """
     payload = {"version": _FORMAT_VERSION, "results": table}
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -26,6 +32,8 @@ def save_checkpoint(path: str, table: dict) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             pickle.dump(payload, handle, protocol=4)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):

@@ -7,8 +7,19 @@
   implicit dependency; the task launches when all resolve, with the
   future values substituted in place,
 - failed dependencies fail dependents with :class:`TaskFailedError`,
-- per-task retries, optional memoization ("app caching"), and
-  checkpointing of the memo table across runs.
+- per-task retries (optionally paced by a
+  :class:`~repro.resilience.RetryPolicy` — exponential backoff with
+  seeded jitter — and bounded by a run-wide
+  :class:`~repro.resilience.RetryBudget`),
+- per-task attempt timeouts: a watchdog abandons an attempt that
+  overruns its deadline, retries it, and guarantees the late result is
+  never stored or delivered; exhausted timeouts surface as
+  :class:`WorkflowError` carrying the full attempt history,
+- cooperative cancellation: ``AppFuture.cancel()`` works any time
+  before completion — unlaunched tasks never run, in-flight results
+  are discarded (and never memoized),
+- optional memoization ("app caching") and checkpointing of the memo
+  table across runs; only *successful* results are ever memoized.
 
 The kernel is executor-agnostic (threads or serial) and thread-safe:
 dependency callbacks fire on worker threads.
@@ -18,12 +29,13 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 
 from repro.errors import TaskFailedError, WorkflowError
 from repro.observe.span import Span
 from repro.observe.tracer import NULL_TRACER, Tracer
+from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.workflow.checkpoint import load_checkpoint, save_checkpoint
 from repro.workflow.executors import ExecutorBase, ThreadExecutor
 from repro.workflow.futures import AppFuture
@@ -37,10 +49,14 @@ class _TaskRecord:
     kwargs: dict
     future: AppFuture
     retries: int
+    timeout_s: float | None = None
     pending: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
     span: Span | None = None       # task-lifecycle span (tracing enabled)
     wait_span: Span | None = None  # submit -> dependencies-resolved
+    attempt_token: int = 0         # bumped to orphan a timed-out attempt
+    history: list[str] = field(default_factory=list)
+    watchdog: threading.Timer | None = None
 
 
 def _iter_futures(args: tuple, kwargs: dict):
@@ -80,15 +96,27 @@ class DataFlowKernel:
         memoize: bool = False,
         checkpoint_path: str | None = None,
         retries: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        retry_budget: RetryBudget | int | None = None,
+        task_timeout_s: float | None = None,
         tracer: Tracer | None = None,
     ):
         if retries < 0:
             raise WorkflowError(f"retries must be >= 0, got {retries}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise WorkflowError(
+                f"task_timeout_s must be positive, got {task_timeout_s}"
+            )
         self.executor = executor if executor is not None else ThreadExecutor()
         if tracer is not None and not tracer.bound:
             tracer.bind(time.perf_counter)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.default_retries = retries
+        self.retry_policy = retry_policy
+        if isinstance(retry_budget, int):
+            retry_budget = RetryBudget(retry_budget)
+        self.retry_budget = retry_budget
+        self.default_timeout_s = task_timeout_s
         self.memoizer = Memoizer() if (memoize or checkpoint_path) else None
         self.checkpoint_path = checkpoint_path
         if checkpoint_path:
@@ -101,14 +129,24 @@ class DataFlowKernel:
         self.tasks_completed = 0
         self.tasks_failed = 0
         self.tasks_memoized = 0
+        self.tasks_cancelled = 0
+        self.tasks_timed_out = 0
 
     # -- submission ---------------------------------------------------------------
-    def submit(self, fn, *args, retries: int | None = None, **kwargs) -> AppFuture:
-        """Schedule ``fn(*args, **kwargs)``; returns its future now."""
+    def submit(self, fn, *args, retries: int | None = None,
+               timeout_s: float | None = None, **kwargs) -> AppFuture:
+        """Schedule ``fn(*args, **kwargs)``; returns its future now.
+
+        ``timeout_s`` bounds each execution attempt (falling back to the
+        kernel-wide ``task_timeout_s``); an attempt that overruns is
+        abandoned and retried, and its late result is discarded.
+        """
         if self._closed:
             raise WorkflowError("submit on a shut-down DataFlowKernel")
         if not callable(fn):
             raise WorkflowError(f"submit needs a callable, got {type(fn).__name__}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise WorkflowError(f"timeout_s must be positive, got {timeout_s}")
         with self._lock:
             task_id = self._task_counter
             self._task_counter += 1
@@ -117,6 +155,7 @@ class DataFlowKernel:
         record = _TaskRecord(
             fn=fn, args=args, kwargs=kwargs, future=future,
             retries=self.default_retries if retries is None else retries,
+            timeout_s=self.default_timeout_s if timeout_s is None else timeout_s,
         )
         deps = list({id(f): f for f in _iter_futures(args, kwargs)}.values())
         record.pending = len(deps)
@@ -163,6 +202,12 @@ class DataFlowKernel:
     def _launch(self, record: _TaskRecord) -> None:
         self.tracer.end(record.wait_span)
         record.wait_span = None
+        if record.future.cancelled():
+            # cancelled before start: never runs, never memoizes
+            with self._lock:
+                self.tasks_cancelled += 1
+            self.tracer.end(record.span, status="cancelled")
+            return
         try:
             args = tuple(_substitute(a) for a in record.args)
             kwargs = {k: _substitute(v) for k, v in record.kwargs.items()}
@@ -186,16 +231,79 @@ class DataFlowKernel:
         self._execute(record, args, kwargs, key)
 
     def _execute(self, record: _TaskRecord, args, kwargs, key) -> None:
+        if record.future.cancelled():
+            with self._lock:
+                self.tasks_cancelled += 1
+            self.tracer.end(record.span, status="cancelled")
+            return
+        if self._closed:
+            self._fail(record, WorkflowError(
+                f"kernel shut down while task {record.future.func_name!r} "
+                f"awaited a retry"
+            ))
+            return
         record.future.tries += 1
+        with record.lock:
+            token = record.attempt_token
         run_span = self.tracer.begin("run", "run", parent=record.span,
                                      attempt=record.future.tries)
+        if record.timeout_s is not None:
+            record.watchdog = threading.Timer(
+                record.timeout_s, self._attempt_timeout,
+                args=(record, token, args, kwargs, key, run_span),
+            )
+            record.watchdog.daemon = True
+            record.watchdog.start()
         exec_future = self.executor.submit(record.fn, *args, **kwargs)
         exec_future.add_done_callback(
-            lambda f: self._exec_done(record, args, kwargs, key, f, run_span)
+            lambda f: self._exec_done(record, args, kwargs, key, f,
+                                      run_span, token)
         )
 
+    def _attempt_timeout(self, record: _TaskRecord, token: int,
+                         args, kwargs, key, run_span) -> None:
+        """Watchdog fired: abandon the attempt and invalidate its token
+        so a late result can never be delivered or memoized."""
+        with record.lock:
+            if record.attempt_token != token or record.future.done():
+                return
+            record.attempt_token += 1
+        with self._lock:
+            self.tasks_timed_out += 1
+        attempt = record.future.tries
+        record.history.append(
+            f"attempt {attempt} timed out after {record.timeout_s}s"
+        )
+        self.tracer.end(run_span, status="timeout",
+                        timeout_s=record.timeout_s)
+        if attempt <= record.retries:
+            self._retry(record, args, kwargs, key)
+        else:
+            self._fail(record, WorkflowError(
+                f"task {record.future.func_name!r} timed out on all "
+                f"{attempt} attempts ({'; '.join(record.history)})"
+            ))
+
     def _exec_done(self, record: _TaskRecord, args, kwargs, key,
-                   exec_future: Future, run_span=None) -> None:
+                   exec_future: Future, run_span=None, token: int = 0) -> None:
+        with record.lock:
+            stale = record.attempt_token != token
+            if not stale:
+                # the attempt beat its watchdog; disarm it
+                if record.watchdog is not None:
+                    record.watchdog.cancel()
+                    record.watchdog = None
+        if stale:
+            # a timed-out attempt finishing late: the watchdog already
+            # retried (or failed) the task — drop this result entirely,
+            # and in particular never memoize it
+            return
+        if record.future.cancelled():
+            with self._lock:
+                self.tasks_cancelled += 1
+            self.tracer.end(run_span, status="cancelled")
+            self.tracer.end(record.span, status="cancelled")
+            return
         exc = exec_future.exception()
         if exc is None:
             self.tracer.end(run_span)
@@ -205,19 +313,53 @@ class DataFlowKernel:
             with self._lock:
                 self.tasks_completed += 1
             self.tracer.end(record.span, tries=record.future.tries)
-            record.future.set_result(value)
+            try:
+                record.future.set_result(value)
+            except InvalidStateError:   # cancelled in the final window
+                pass
         elif record.future.tries <= record.retries:
             self.tracer.end(run_span, status="failed", error=repr(exc))
-            self._execute(record, args, kwargs, key)
+            record.history.append(
+                f"attempt {record.future.tries} failed: {exc!r}"
+            )
+            self._retry(record, args, kwargs, key)
         else:
             self.tracer.end(run_span, status="failed", error=repr(exc))
+            record.history.append(
+                f"attempt {record.future.tries} failed: {exc!r}"
+            )
             self._fail(record, exc)
+
+    def _retry(self, record: _TaskRecord, args, kwargs, key) -> None:
+        """Re-execute after a failed or timed-out attempt, paced by the
+        retry policy's backoff and the run-wide budget when configured."""
+        delay = 0.0
+        if self.retry_policy is not None:
+            delay = self.retry_policy.delay_s(
+                record.future.tries,
+                key=f"{record.future.func_name}#{record.future.task_id}",
+            )
+        if self.retry_budget is not None and not self.retry_budget.acquire():
+            delay = max(delay, self.retry_budget.cooldown_s)
+        if delay > 0:
+            self.tracer.instant("retry-backoff", "dftask",
+                                parent=record.span, delay_s=delay)
+            timer = threading.Timer(
+                delay, self._execute, args=(record, args, kwargs, key)
+            )
+            timer.daemon = True
+            timer.start()
+        else:
+            self._execute(record, args, kwargs, key)
 
     def _fail(self, record: _TaskRecord, exc: BaseException) -> None:
         with self._lock:
             self.tasks_failed += 1
         self.tracer.end(record.span, status="failed", error=repr(exc))
-        record.future.set_exception(exc)
+        try:
+            record.future.set_exception(exc)
+        except InvalidStateError:       # cancelled in the final window
+            pass
 
     def map(self, fn, *iterables, retries: int | None = None) -> list[AppFuture]:
         """Submit ``fn`` over zipped iterables; returns all futures.

@@ -13,6 +13,12 @@ class AppFuture(Future):
     dataflow. ``task_id``/``func_name`` identify the producing task;
     ``tries`` counts execution attempts (for retry diagnostics);
     ``from_memo`` marks results served from the memoization table.
+
+    ``cancel()`` (inherited) succeeds any time before completion: the
+    kernel never marks futures RUNNING, so a cancelled task is simply
+    never launched — or, if an attempt is already in flight, its result
+    is discarded on arrival and never memoized. Dependents of a
+    cancelled future fail with :class:`~repro.errors.TaskFailedError`.
     """
 
     def __init__(self, task_id: int, func_name: str):

@@ -14,8 +14,8 @@ from repro.datafabric import Dataset
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert sorted(EXPERIMENTS) == [
-            "E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-            "E9"
+            "E1", "E10", "E11", "E12", "E13", "E2", "E3", "E4", "E5", "E6",
+            "E7", "E8", "E9"
         ]
 
 
@@ -79,9 +79,26 @@ class TestHeadlineShapes:
         thin = [r for r in result.rows if r["bandwidth_Mbps"] == 4.0]
         assert all(r["speedup"] == 1.0 for r in thin)
 
+    def test_e13_no_policy_loses_work(self):
+        result = EXPERIMENTS["E13"](quick=True)
+        assert all(r["lost"] == 0 for r in result.rows)
+
+    def test_e13_full_dominates_naive_at_highest_intensity(self):
+        """The headline acceptance claim: breakers + hedging strictly
+        beat naive retry on wasted work AND tail latency under the
+        heaviest campaign."""
+        result = EXPERIMENTS["E13"](quick=False)
+        worst = result.rows[-1]["intensity"]
+        by_policy = {r["policy"]: r for r in result.rows
+                     if r["intensity"] == worst}
+        naive = by_policy["naive-retry"]
+        full = by_policy["backoff+breakers+hedging"]
+        assert full["wasted_pct"] < naive["wasted_pct"]
+        assert full["p99_turnaround_s"] < naive["p99_turnaround_s"]
+
 
 class TestDeterminism:
-    @pytest.mark.parametrize("exp_id", ["E1", "E2", "E6", "E7", "E10"])
+    @pytest.mark.parametrize("exp_id", ["E1", "E2", "E6", "E7", "E10", "E13"])
     def test_same_seed_same_rows(self, exp_id):
         a = EXPERIMENTS[exp_id](quick=True, seed=3)
         b = EXPERIMENTS[exp_id](quick=True, seed=3)

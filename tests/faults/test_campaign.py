@@ -1,0 +1,176 @@
+"""Chaos campaigns: seeded schedule generation and keyed task fates."""
+
+import pytest
+
+from repro.continuum import edge_cloud_pair, science_grid
+from repro.core import ContinuumScheduler, TierStrategy
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CAMPAIGN_INTENSITIES,
+    ChaosCampaign,
+    OutageSchedule,
+    SiteOutage,
+    TaskChaos,
+    TaskFate,
+    poisson_outages,
+)
+from repro.utils.rng import RngRegistry
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+class TestPoissonOutagesAcrossSeeds:
+    def test_same_seed_same_schedule(self):
+        topo = science_grid()
+        kwargs = dict(rate_per_site_per_s=0.02, horizon_s=800,
+                      mean_duration_s=15)
+        a = poisson_outages(topo, rngs=RngRegistry(9), **kwargs)
+        b = poisson_outages(topo, rngs=RngRegistry(9), **kwargs)
+        assert a.site_outages == b.site_outages
+
+    def test_different_seeds_differ(self):
+        topo = science_grid()
+        kwargs = dict(rate_per_site_per_s=0.02, horizon_s=800,
+                      mean_duration_s=15)
+        schedules = [
+            poisson_outages(topo, rngs=RngRegistry(seed), **kwargs)
+            for seed in (0, 1, 2)
+        ]
+        starts = [tuple(o.start_s for o in s.site_outages)
+                  for s in schedules]
+        assert len(set(starts)) == 3
+
+    def test_site_subset_still_deterministic(self):
+        """Outages draw from one shared stream, so a site subset shifts
+        the draws — but the subset schedule itself stays reproducible."""
+        topo = science_grid()
+        kwargs = dict(rate_per_site_per_s=0.05, horizon_s=400,
+                      mean_duration_s=10)
+        a = poisson_outages(topo, sites=["cloud"],
+                            rngs=RngRegistry(3), **kwargs)
+        b = poisson_outages(topo, sites=["cloud"],
+                            rngs=RngRegistry(3), **kwargs)
+        assert a.site_outages == b.site_outages
+
+    def test_degraded_windows_use_per_site_streams(self):
+        """Campaign degraded windows draw from per-site named streams:
+        one site's windows do not depend on which other sites exist."""
+        big = ChaosCampaign(seed=6, degraded_rate_per_site_per_s=0.02,
+                            degraded_mean_duration_s=30.0,
+                            degraded_fail_prob=0.5)
+        grid = big.build(science_grid())
+        pair = big.build(edge_cloud_pair())
+        assert grid.task_chaos.degraded.get("cloud") == \
+            pair.task_chaos.degraded.get("cloud")
+
+
+class TestOverlappingOutageWindows:
+    """Hand-built schedules may overlap or nest windows for one site;
+    the scheduler's depth counting keeps the site down until the last
+    window ends."""
+
+    def _run(self, failures):
+        topo = edge_cloud_pair(edge_speed=1.0, latency_s=0.0)
+        dag = WorkflowDAG("overlap")
+        dag.add_task(TaskSpec("t", work=10.0))
+        return ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            dag, TierStrategy("edge"), failures=failures, task_retries=5
+        )
+
+    def test_nested_windows_site_up_at_outer_end(self):
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 10.0))   # outer: up at 11
+        failures.add(SiteOutage("edge", 3.0, 2.0))    # nested: ends at 5
+        result = self._run(failures)
+        rec = result.records["t"]
+        # the nested window's end must NOT resurrect the site at t=5
+        assert rec.exec_started == pytest.approx(11.0)
+        assert result.makespan == pytest.approx(21.0)
+
+    def test_overlapping_windows_union_semantics(self):
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 1.0, 4.0))    # [1, 5)
+        failures.add(SiteOutage("edge", 4.0, 4.0))    # [4, 8) overlaps
+        result = self._run(failures)
+        rec = result.records["t"]
+        assert rec.exec_started == pytest.approx(8.0)
+        assert result.makespan == pytest.approx(18.0)
+
+    def test_identical_windows_stack(self):
+        failures = OutageSchedule()
+        failures.add(SiteOutage("edge", 2.0, 3.0))
+        failures.add(SiteOutage("edge", 2.0, 3.0))    # exact duplicate
+        result = self._run(failures)
+        rec = result.records["t"]
+        assert rec.exec_started == pytest.approx(5.0)
+        assert result.makespan == pytest.approx(15.0)
+
+
+class TestTaskChaosFates:
+    def test_fates_are_keyed_not_streamed(self):
+        """The fate of (task, attempt, site) is a pure function of the
+        seed — query order and repetition never change it."""
+        chaos = TaskChaos(seed=5, base_fail_prob=0.5,
+                          base_straggler_prob=0.5)
+        first = chaos.fate("t1", 0, "edge", now=0.0)
+        for _ in range(3):
+            chaos.fate("other", 7, "cloud", now=2.0)
+            assert chaos.fate("t1", 0, "edge", now=9.0) == first
+
+    def test_degraded_window_elevates_probability(self):
+        chaos = TaskChaos(seed=0, degraded_fail_prob=1.0,
+                          degraded={"edge": ((10.0, 20.0),)})
+        assert chaos.fate("t", 0, "edge", now=15.0).fail_after_frac \
+            is not None
+        assert chaos.fate("t", 0, "edge", now=25.0).benign
+        assert chaos.fate("t", 0, "cloud", now=15.0).benign
+
+    def test_empty_detects_unreachable_degraded_probs(self):
+        assert TaskChaos().empty
+        # degraded probabilities without windows can never fire
+        assert TaskChaos(degraded_fail_prob=0.9).empty
+        assert not TaskChaos(degraded_fail_prob=0.9,
+                             degraded={"edge": ((0.0, 1.0),)}).empty
+
+    def test_fate_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskChaos(base_fail_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            TaskChaos(straggler_factor=0.5)
+        assert TaskFate().benign
+
+
+class TestChaosCampaignBuild:
+    def test_same_triple_same_plan(self):
+        topo = science_grid()
+        a = ChaosCampaign.preset("high", seed=4).build(topo)
+        b = ChaosCampaign.preset("high", seed=4).build(topo)
+        assert a.outages.site_outages == b.outages.site_outages
+        assert a.outages.link_brownouts == b.outages.link_brownouts
+        assert a.task_chaos.degraded == b.task_chaos.degraded
+
+    def test_seeds_shift_the_whole_plan(self):
+        topo = science_grid()
+        a = ChaosCampaign.preset("high", seed=0).build(topo)
+        b = ChaosCampaign.preset("high", seed=1).build(topo)
+        assert a.task_chaos.degraded != b.task_chaos.degraded
+
+    def test_intensities_escalate(self):
+        topo = science_grid()
+        plans = {i: ChaosCampaign.preset(i, seed=2).build(topo)
+                 for i in CAMPAIGN_INTENSITIES}
+        assert plans["low"].site_outage_count <= \
+            plans["medium"].site_outage_count
+        assert plans["low"].transfer_failure_prob == 0.0
+        assert plans["high"].transfer_failure_prob > \
+            plans["medium"].transfer_failure_prob > 0.0
+        assert plans["high"].degraded_window_count > 0
+
+    def test_unknown_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosCampaign.preset("apocalyptic")
+
+    def test_plans_validate_against_topology(self):
+        topo = science_grid()
+        plan = ChaosCampaign.preset("medium", seed=1).build(topo)
+        for outage in plan.outages.site_outages:
+            assert outage.site in topo

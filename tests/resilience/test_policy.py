@@ -1,0 +1,73 @@
+"""ResiliencePolicy presets, hedging maths, and stats plumbing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import HedgePolicy, ResiliencePolicy, ResilienceStats
+
+
+class TestHedgePolicy:
+    def test_hedge_instant(self):
+        hedge = HedgePolicy(trigger_factor=1.5)
+        # placed at 10, estimated to finish at 20 => check at 10 + 10*1.5
+        assert hedge.hedge_at(10.0, 20.0) == 25.0
+
+    def test_min_head_start(self):
+        hedge = HedgePolicy(trigger_factor=1.0, min_head_start_s=2.0)
+        assert hedge.hedge_at(0.0, 4.0) == 6.0
+
+    def test_degenerate_estimate(self):
+        assert HedgePolicy().hedge_at(5.0, 5.0) == 5.0
+        assert HedgePolicy().hedge_at(5.0, 1.0) == 5.0   # past estimate
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(trigger_factor=0.9)
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(max_hedges=0)
+
+
+class TestPresets:
+    def test_naive_is_immediate(self):
+        policy = ResiliencePolicy.naive()
+        assert policy.retry.backoff_base_s == 0.0
+        assert policy.breaker is None
+        assert policy.hedge is None
+        assert policy.make_budget() is None
+        assert policy.make_breakers() is None
+        assert policy.attempt_timeout_s(10.0) is None
+
+    def test_backoff_has_budget(self):
+        policy = ResiliencePolicy.backoff(seed=3, budget=50)
+        budget = policy.make_budget()
+        assert budget is not None and budget.max_fast_retries == 50
+        assert policy.retry.delay_s(1, "t") > 0
+        assert policy.breaker is None
+
+    def test_full_has_everything(self):
+        policy = ResiliencePolicy.full(seed=3)
+        assert policy.make_breakers() is not None
+        assert policy.hedge is not None
+        assert policy.attempt_timeout_s(2.0) == pytest.approx(8.0)
+        # the floor protects tiny tasks from estimate noise
+        assert policy.attempt_timeout_s(0.01) == pytest.approx(5.0)
+
+    def test_distinct_names(self):
+        names = {ResiliencePolicy.naive().name,
+                 ResiliencePolicy.backoff().name,
+                 ResiliencePolicy.full().name}
+        assert len(names) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResiliencePolicy(timeout_factor=0.0)
+
+
+class TestStats:
+    def test_row_shape(self):
+        stats = ResilienceStats(policy="full", retries=3, hedges_launched=1)
+        row = stats.as_row()
+        assert row["policy"] == "full"
+        assert row["retries"] == 3
+        assert row["hedges"] == 1
+        assert row["lost"] == 0

@@ -1,0 +1,288 @@
+"""Resilience policies wired through the continuum scheduler."""
+
+import pytest
+
+from repro.continuum import edge_cloud_pair
+from repro.core import ContinuumScheduler, GreedyEFTStrategy
+from repro.errors import SchedulingError
+from repro.faults import OutageSchedule, SiteOutage, TaskChaos
+from repro.observe import Tracer
+from repro.resilience import (
+    BreakerConfig,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.workflow import TaskSpec, WorkflowDAG
+
+
+def one_task_dag(work=8.0, pinned=None):
+    dag = WorkflowDAG("resilient")
+    dag.add_task(TaskSpec("t", work=work, pinned_site=pinned))
+    return dag
+
+
+def sick_site(site, *, fail=0.0, straggle=0.0, factor=4.0,
+              window=(0.0, 1000.0)):
+    """Chaos where ``site`` is degraded over ``window``, else healthy."""
+    return TaskChaos(
+        seed=7,
+        degraded_fail_prob=fail,
+        degraded_straggler_prob=straggle,
+        straggler_factor=factor,
+        degraded={site: (window,)},
+    )
+
+
+class TestLegacyEquivalence:
+    def test_naive_policy_matches_legacy_retries(self):
+        """naive-retry (backoff 0, no breakers/hedging) reproduces the
+        seed scheduler's outage handling exactly."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        failures = OutageSchedule().add(SiteOutage("cloud", 0.5, 1000.0))
+
+        legacy = ContinuumScheduler(topo).run(
+            one_task_dag(), GreedyEFTStrategy(), failures=failures,
+            task_retries=2,
+        )
+        policy = ContinuumScheduler(topo).run(
+            one_task_dag(), GreedyEFTStrategy(), failures=failures,
+            resilience=ResiliencePolicy.naive(max_attempts=3),
+        )
+        assert policy.makespan == legacy.makespan == pytest.approx(8.5)
+        assert policy.wasted_exec_s == legacy.wasted_exec_s
+        assert policy.records["t"].site == legacy.records["t"].site == "edge"
+        assert policy.resilience.policy == "naive-retry"
+        assert policy.resilience.retries == 1
+        assert legacy.resilience.policy == "none"
+
+    def test_empty_chaos_is_inert(self):
+        topo = edge_cloud_pair()
+        base = ContinuumScheduler(topo).run(one_task_dag(),
+                                            GreedyEFTStrategy())
+        chaotic = ContinuumScheduler(topo).run(
+            one_task_dag(), GreedyEFTStrategy(), chaos=TaskChaos(seed=3)
+        )
+        assert chaotic.makespan == base.makespan
+
+
+class TestTransientFaults:
+    def test_transient_fault_retried_to_success(self):
+        """A chaos-failed attempt is retried; only the success lands."""
+        topo = edge_cloud_pair()
+        chaos = sick_site("edge", fail=1.0, window=(0.0, 0.5))
+        result = ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            one_task_dag(work=8.0), GreedyEFTStrategy(), chaos=chaos,
+            resilience=ResiliencePolicy.naive(),
+        )
+        rec = result.records["t"]
+        assert rec.attempts == 2
+        assert result.resilience.transient_faults == 1
+        assert result.resilience.retries == 1
+        assert result.resilience.lost_tasks == 0
+        # the aborted partial execution is accounted as waste
+        assert result.wasted_exec_s > 0
+        assert result.makespan == pytest.approx(rec.exec_finished)
+
+    def test_backoff_delays_the_retry(self):
+        topo = edge_cloud_pair()
+        chaos = sick_site("edge", fail=1.0, window=(0.0, 0.5))
+        naive = ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            one_task_dag(), GreedyEFTStrategy(), chaos=chaos,
+            resilience=ResiliencePolicy.naive(),
+        )
+        backoff = ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            one_task_dag(), GreedyEFTStrategy(), chaos=chaos,
+            resilience=ResiliencePolicy.backoff(base_s=2.0, jitter=0.0),
+        )
+        # identical adversary (keyed fates), so the only difference is
+        # the pause before the retry
+        assert backoff.resilience.backoff_delay_s == pytest.approx(2.0)
+        assert backoff.makespan == pytest.approx(naive.makespan + 2.0)
+
+    def test_budget_exhaustion_degrades_to_cooldown(self):
+        topo = edge_cloud_pair()
+        chaos = sick_site("edge", fail=1.0, window=(0.0, 0.5))
+        policy = ResiliencePolicy(
+            name="cooldown-only",
+            retry=RetryPolicy(max_attempts=5, backoff_base_s=0.0),
+            budget_fast_retries=0, budget_cooldown_s=3.0,
+        )
+        result = ContinuumScheduler(topo, candidate_sites=["edge"]).run(
+            one_task_dag(), GreedyEFTStrategy(), chaos=chaos,
+            resilience=policy,
+        )
+        assert result.resilience.budget_denials == 1
+        assert result.resilience.backoff_delay_s == pytest.approx(3.0)
+
+    def test_retries_exhausted_reports_attempt_history(self):
+        topo = edge_cloud_pair()
+        chaos = sick_site("edge", fail=1.0)   # sick forever
+        sched = ContinuumScheduler(topo, candidate_sites=["edge"])
+        with pytest.raises(SchedulingError, match="failed during run") as info:
+            sched.run(one_task_dag(), GreedyEFTStrategy(), chaos=chaos,
+                      resilience=ResiliencePolicy.naive(max_attempts=3))
+        cause = str(info.value.__cause__)
+        assert "retries exhausted" in cause
+        assert "attempt 1 at edge" in cause
+        assert "attempt 3 at edge" in cause
+
+
+class TestCircuitBreakers:
+    def test_breaker_opens_and_work_routes_around(self):
+        """Repeated failures at the preferred site trip its breaker;
+        the next attempt is placed at the healthy site."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        chaos = sick_site("cloud", fail=1.0)   # cloud sick forever
+        policy = ResiliencePolicy(
+            name="breakers",
+            retry=RetryPolicy(max_attempts=10, backoff_base_s=0.0),
+            breaker=BreakerConfig(failure_threshold=2,
+                                  reset_timeout_s=500.0),
+        )
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(), GreedyEFTStrategy(), chaos=chaos,
+            resilience=policy,
+        )
+        rec = result.records["t"]
+        assert rec.site == "edge"
+        assert result.resilience.breaker_trips == 1
+        assert result.resilience.transient_faults == 2
+        assert result.resilience.lost_tasks == 0
+
+    def test_half_open_probe_recovers_closed_state(self):
+        """After the reset timeout the breaker admits a probe; a healthy
+        site wins its traffic back."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        # cloud sick only briefly: the probe after reset succeeds
+        chaos = sick_site("cloud", fail=1.0, window=(0.0, 1.0))
+        policy = ResiliencePolicy(
+            name="probing",
+            retry=RetryPolicy(max_attempts=10, backoff_base_s=0.0),
+            breaker=BreakerConfig(failure_threshold=2, reset_timeout_s=5.0),
+        )
+        dag = WorkflowDAG("chain")
+        prev = None
+        from repro.datafabric import Dataset
+        for i in range(6):
+            kwargs = {}
+            if prev is not None:
+                kwargs = dict(inputs=(prev,), after=(f"c{i-1}",))
+            out = Dataset(f"d{i}", 1.0)
+            dag.add_task(TaskSpec(f"c{i}", work=8.0, outputs=(out,), **kwargs))
+            prev = f"d{i}"
+        result = ContinuumScheduler(topo).run(
+            dag, GreedyEFTStrategy(), chaos=chaos, resilience=policy,
+        )
+        assert result.resilience.breaker_trips >= 1
+        assert result.resilience.breaker_probes >= 1
+        # once healthy again, the fast site carries later tasks
+        assert result.records["c5"].site == "cloud"
+
+
+class TestHedging:
+    def hedge_policy(self):
+        return ResiliencePolicy(
+            name="hedge-only",
+            retry=RetryPolicy(max_attempts=5, backoff_base_s=0.0),
+            hedge=HedgePolicy(trigger_factor=1.5, max_hedges=1),
+        )
+
+    def test_hedge_rescues_straggler(self):
+        """The preferred site straggles 50x; the hedge duplicate on the
+        other site finishes first and the straggler is cancelled."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        chaos = sick_site("cloud", straggle=1.0, factor=50.0)
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(work=8.0), GreedyEFTStrategy(), chaos=chaos,
+            resilience=self.hedge_policy(),
+        )
+        rec = result.records["t"]
+        stats = result.resilience
+        assert stats.hedges_launched == 1
+        assert stats.hedges_won == 1
+        assert stats.hedges_lost == 1
+        assert rec.site == "edge"
+        # without the hedge the slowed cloud attempt runs 50 s
+        assert result.makespan < 15.0
+        # the cancelled straggler's burn is visible in the accounting
+        assert result.wasted_exec_s > 0
+
+    def test_hedge_loses_cleanly_when_primary_finishes(self):
+        """A hedge that fires but loses is cancelled and only counted
+        as waste — the task still completes exactly once."""
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        # mild straggle: cloud is slowed 3x (3 s), still beats the edge (8 s)
+        chaos = sick_site("cloud", straggle=1.0, factor=3.0)
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(work=8.0), GreedyEFTStrategy(), chaos=chaos,
+            resilience=self.hedge_policy(),
+        )
+        stats = result.resilience
+        assert stats.hedges_launched == 1
+        assert stats.hedges_won == 0
+        assert stats.hedges_lost == 1
+        assert result.records["t"].site == "cloud"
+        assert result.task_count == 1
+
+    def test_no_hedge_when_attempt_is_on_estimate(self):
+        topo = edge_cloud_pair()
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(), GreedyEFTStrategy(),
+            resilience=self.hedge_policy(),
+        )
+        assert result.resilience.hedges_launched == 0
+
+
+class TestAttemptTimeouts:
+    def test_timeout_kills_straggler_and_retries(self):
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        # cloud straggles 50x only in [0, 1): the retry runs clean
+        chaos = sick_site("cloud", straggle=1.0, factor=50.0,
+                          window=(0.0, 1.0))
+        policy = ResiliencePolicy(
+            name="timeouts",
+            retry=RetryPolicy(max_attempts=5, backoff_base_s=0.0),
+            timeout_factor=2.0, timeout_min_s=0.1,
+        )
+        result = ContinuumScheduler(topo).run(
+            one_task_dag(work=8.0), GreedyEFTStrategy(), chaos=chaos,
+            resilience=policy,
+        )
+        stats = result.resilience
+        assert stats.timeouts == 1
+        assert result.records["t"].attempts == 2
+        # attempt 1 killed at 2x the 1 s estimate, attempt 2 runs 1 s
+        assert result.makespan == pytest.approx(3.0)
+        assert result.wasted_exec_s == pytest.approx(2.0)
+
+
+class TestDeterminism:
+    def run_chaotic(self, tracer=None):
+        topo = edge_cloud_pair(edge_speed=1.0, cloud_speed=8.0)
+        chaos = TaskChaos(
+            seed=11, base_fail_prob=0.3, base_straggler_prob=0.3,
+            straggler_factor=5.0,
+        )
+        failures = OutageSchedule().add(SiteOutage("cloud", 2.0, 6.0))
+        dag = WorkflowDAG("det")
+        for i in range(6):
+            dag.add_task(TaskSpec(f"t{i}", work=4.0 + i))
+        result = ContinuumScheduler(topo, seed=5).run(
+            dag, GreedyEFTStrategy(), chaos=chaos, failures=failures,
+            resilience=ResiliencePolicy.full(seed=5, base_s=0.2),
+            tracer=tracer,
+        )
+        return (result.makespan, result.wasted_exec_s,
+                result.resilience.retries, result.resilience.timeouts,
+                sorted((n, r.site, r.exec_finished)
+                       for n, r in result.records.items()))
+
+    def test_repeat_runs_identical(self):
+        assert self.run_chaotic() == self.run_chaotic()
+
+    def test_traced_run_identical_to_untraced(self):
+        tracer = Tracer()
+        traced = self.run_chaotic(tracer=tracer)
+        assert traced == self.run_chaotic(tracer=None)
+        assert len(tracer.spans) > 0

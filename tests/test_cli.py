@@ -99,3 +99,37 @@ class TestTraceCommand:
         printed = capsys.readouterr().out
         assert "spans" in printed
         assert "chrome trace written" not in printed
+
+
+class TestChaosCommand:
+    def test_default_run_reports_recovery_actions(self, capsys):
+        assert main(["chaos"]) == 0
+        printed = capsys.readouterr().out
+        assert "chaos campaign 'medium'" in printed
+        assert "recovery actions:" in printed
+        assert "resilience stats:" in printed
+        assert "lost=0" in printed
+
+    def test_intensity_and_policy_selection(self, capsys):
+        assert main(["chaos", "--intensity", "high",
+                     "--policy", "naive", "--seed", "3"]) == 0
+        printed = capsys.readouterr().out
+        assert "chaos campaign 'high' (seed 3)" in printed
+        assert "'naive-retry'" in printed
+
+    def test_chaos_trace_export(self, tmp_path, capsys):
+        import json
+
+        from repro.observe import validate_chrome_trace
+
+        out = str(tmp_path / "chaos.json")
+        assert main(["chaos", "--workload", "stencil", "--out", out]) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        with open(out, encoding="utf-8") as handle:
+            assert validate_chrome_trace(json.load(handle)) > 0
+
+    def test_same_seed_same_makespan(self, capsys):
+        assert main(["chaos", "--intensity", "high", "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "--intensity", "high", "--seed", "5"]) == 0
+        assert capsys.readouterr().out == first

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.faas",
     "repro.workflow",
     "repro.core",
+    "repro.resilience",
     "repro.faults",
     "repro.workloads",
     "repro.observe",
