@@ -1,0 +1,285 @@
+"""Event-kernel microbenchmarks: optimized kernel vs the frozen seed kernel.
+
+Times the discrete-event kernel's hot paths against a faithful copy of
+the pre-fast-path implementation (tuple-allocating ``__lt__``, peek+pop
+double traversal in ``run``, no compaction, no free list, no
+same-instant lane). Both kernels drive the *same* process/waitable
+machinery, so the measured gap is exactly the queue + run-loop work.
+
+Run as a script to refresh the machine-readable perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --out BENCH_kernel.json
+
+Each workload also cross-checks determinism: the reference and the
+optimized kernel must fire the same number of events and finish at the
+same simulated clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+from repro.simcore import Simulator, Timeout
+from repro.simcore.process import Process
+
+
+# ---------------------------------------------------------------------------
+# Frozen reference kernel (the seed implementation, verbatim semantics).
+# ---------------------------------------------------------------------------
+
+class RefEvent:
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "pooled")
+
+    def __init__(self, time, seq, callback, args=()):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.pooled = False     # compat with Simulator.cancel bookkeeping
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class RefEventQueue:
+    """Binary heap with lazy cancellation — no compaction, no pooling."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self._live = 0
+
+    def push(self, time, callback, args=()):
+        event = RefEvent(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        raise RuntimeError("pop from empty event queue")
+
+    def peek_time(self):
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self):
+        self._live -= 1
+
+    def __len__(self):
+        return self._live
+
+    def __bool__(self):
+        return self._live > 0
+
+
+class RefSimulator:
+    """The seed event loop: peek_time + pop per iteration, all events
+    through the heap. Exposes the same internal surface the process
+    machinery uses (``_immediate``, ``_wakeup``, ``_queue``)."""
+
+    def __init__(self, start_time=0.0):
+        self._queue = RefEventQueue()
+        self._now = float(start_time)
+        self._processes_started = 0
+        self.event_count = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        return self._queue.push(self._now + delay, callback, args)
+
+    def cancel(self, event):
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def _immediate(self, callback, arg):
+        self._queue.push(self._now, callback, (arg,))
+
+    def _wakeup(self, delay, callback, args):
+        self._queue.push(self._now + delay, callback, args)
+
+    def process(self, gen, name=""):
+        proc = Process(gen, name=name)
+        proc._bind(self)
+        self._processes_started += 1
+        return proc
+
+    def step(self):
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        self.event_count += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until=None):
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self._now = max(self._now, until)
+                break
+            self.step()
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+
+# ---------------------------------------------------------------------------
+# Workloads — each drives one kernel through a hot-path-heavy scenario
+# and returns (event_count, final_clock) for the determinism cross-check.
+# ---------------------------------------------------------------------------
+
+def timeout_watchdog_churn(sim_cls):
+    """The resilience-layer pattern: every attempt arms a long watchdog
+    timeout, almost every attempt beats it, so the heap fills with
+    lazily-cancelled events while live traffic keeps flowing."""
+    sim = sim_cls()
+
+    def attempt_loop(n):
+        for i in range(n):
+            watchdog = sim.schedule(300.0, lambda: None)
+            yield Timeout(0.5)
+            if i % 25 != 0:     # 96% of attempts beat their watchdog
+                sim.cancel(watchdog)
+
+    for _ in range(40):
+        sim.process(attempt_loop(500))
+    sim.run()
+    return sim.event_count, sim.now
+
+
+def process_wakeup_storm(sim_cls):
+    """Context-switch-heavy: many short-timeout processes, the
+    subscribe/fire/resume cycle dominates (same-instant lane traffic)."""
+    sim = sim_cls()
+
+    def ticker(n):
+        for _ in range(n):
+            yield Timeout(1.0)
+
+    for _ in range(100):
+        sim.process(ticker(200))
+    sim.run()
+    return sim.event_count, sim.now
+
+
+def zero_delay_cascade(sim_cls):
+    """Same-instant chains (signal fan-out shape): zero-delay timeouts
+    that the ready lane keeps out of the heap entirely."""
+    sim = sim_cls()
+
+    def chain(n):
+        for _ in range(n):
+            yield Timeout(0.0)
+        yield Timeout(1.0)
+
+    for _ in range(50):
+        sim.process(chain(300))
+    sim.run()
+    return sim.event_count, sim.now
+
+
+def run_until_slices(sim_cls):
+    """Time-sliced driving (the scheduler's probe/step shape): the seed
+    loop pays peek_time + pop per event, the fast path pays one pop."""
+    sim = sim_cls()
+    for i in range(8000):
+        sim.schedule(float(i) * 0.25, lambda: None)
+    for t in range(2001):
+        sim.run(until=float(t))
+    return sim.event_count, sim.now
+
+
+WORKLOADS = [
+    ("timeout_watchdog_churn", timeout_watchdog_churn),
+    ("process_wakeup_storm", process_wakeup_storm),
+    ("zero_delay_cascade", zero_delay_cascade),
+    ("run_until_slices", run_until_slices),
+]
+
+
+def _best_of(fn, arg, repeat):
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(arg)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_benchmarks(repeat: int = 5, quick: bool = False) -> dict:
+    rows = []
+    for name, workload in WORKLOADS:
+        reps = max(1, repeat // 2) if quick else repeat
+        ref_s, (ref_events, ref_clock) = _best_of(workload, RefSimulator, reps)
+        opt_s, (opt_events, opt_clock) = _best_of(workload, Simulator, reps)
+        if (ref_events, ref_clock) != (opt_events, opt_clock):
+            raise AssertionError(
+                f"{name}: kernels diverged — reference fired {ref_events} "
+                f"events to t={ref_clock}, optimized {opt_events} to "
+                f"t={opt_clock}"
+            )
+        rows.append({
+            "name": name,
+            "events": opt_events,
+            "reference_s": round(ref_s, 6),
+            "optimized_s": round(opt_s, 6),
+            "speedup": round(ref_s / opt_s, 3),
+            "optimized_events_per_s": round(opt_events / opt_s),
+        })
+    return {
+        "schema": "repro-bench-kernel/1",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeat": repeat,
+        "benchmarks": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="bench_kernel")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (CI smoke)")
+    args = parser.parse_args(argv)
+    report = run_benchmarks(repeat=args.repeat, quick=args.quick)
+    for row in report["benchmarks"]:
+        print(f"{row['name']:<26} ref {row['reference_s']:.4f}s  "
+              f"opt {row['optimized_s']:.4f}s  "
+              f"speedup {row['speedup']:.2f}x  "
+              f"({row['optimized_events_per_s']:,.0f} events/s)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

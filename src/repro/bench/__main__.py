@@ -1,16 +1,27 @@
 """CLI: run one or all experiments and print their tables.
 
-    python -m repro.bench            # everything, quick mode
-    python -m repro.bench E1 E5      # selected, full mode
-    python -m repro.bench --full     # everything, full mode
+    python -m repro.bench                 # everything, quick mode
+    python -m repro.bench E1 E5           # selected, full mode
+    python -m repro.bench --full          # everything, full mode
+    python -m repro.bench --jobs 4        # shard across 4 worker processes
+    python -m repro.bench --no-cache      # force recompute
+
+Also reachable as ``python -m repro bench ...``. Results are memoized
+in a content-addressed cache under ``results/.cache`` (keyed on the
+experiment id, its config, and a digest of the ``src/repro`` sources),
+so re-running an unchanged experiment replays instantly; ``--no-cache``
+bypasses both read and write.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from repro.bench import EXPERIMENTS, render, save_result
+from repro.bench import EXPERIMENTS
+from repro.bench.runner import DEFAULT_CACHE_DIR, run_suite
+from repro.errors import ContinuumError
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,20 +36,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write tables under DIR")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes to shard experiments "
+                             "across (default 1: in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed result cache")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=DEFAULT_CACHE_DIR,
+                        help=f"cache location (default {DEFAULT_CACHE_DIR})")
     args = parser.parse_args(argv)
 
     selected = args.experiments or list(EXPERIMENTS)
     quick = args.quick or (not args.full and not args.experiments)
     for exp_id in selected:
-        key = exp_id.upper()
-        if key not in EXPERIMENTS:
+        if exp_id.upper() not in EXPERIMENTS:
             print(f"unknown experiment {exp_id!r}; known: {list(EXPERIMENTS)}")
             return 2
-        result = EXPERIMENTS[key](quick=quick, seed=args.seed)
-        print(render(result))
+    t0 = time.perf_counter()
+    try:
+        entries = run_suite(
+            selected, quick=quick, seed=args.seed, jobs=args.jobs,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+            save_dir=args.save,
+        )
+    except ContinuumError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for entry in entries:
+        print(entry.rendered)
         print()
-        if args.save:
-            save_result(result, args.save)
+    wall = time.perf_counter() - t0
+    cached = sum(1 for e in entries if e.cached)
+    shards = sum(e.shards for e in entries if not e.cached)
+    print(f"# suite: {len(entries)} experiments "
+          f"({cached} cached, {shards} shards computed) "
+          f"in {wall:.2f}s with jobs={args.jobs}", file=sys.stderr)
     return 0
 
 

@@ -77,35 +77,81 @@ def _run(intensity: str | None, policy: ResiliencePolicy | None, seed: int):
     )
 
 
-def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def list_shards(quick: bool = False, seed: int = 0) -> list[tuple]:
+    """Independent units of work for the parallel runner.
+
+    One shard per (intensity, policy) scheduler run plus the clean
+    baseline every row's inflation is measured against. Shard keys are
+    picklable and deterministic; ``merge_shards`` reassembles rows in
+    exactly the order the sequential loop would emit them.
+    """
+    intensities = [CAMPAIGN_INTENSITIES[0]] if quick \
+        else list(CAMPAIGN_INTENSITIES)
+    shards: list[tuple] = [("clean", None)]
+    for intensity in intensities:
+        for policy_idx in range(len(_policies(0))):
+            shards.append((intensity, policy_idx))
+    return shards
+
+
+def run_shard(shard: tuple, quick: bool = False, seed: int = 0) -> dict:
+    """Run one shard; returns a picklable partial for ``merge_shards``."""
+    intensity, policy_idx = shard
+    seed += BASE_SEED
+    if intensity == "clean":
+        clean = _run(None, None, seed)
+        return {"shard": shard, "makespan_s": clean.makespan}
+    policy = _policies(seed)[policy_idx]
+    run = _run(intensity, policy, seed)
+    stats = run.resilience
+    useful = sum(r.exec_time for r in run.records.values())
+    exec_total = useful + run.wasted_exec_s
+    turnarounds = [r.turnaround for r in run.records.values()]
+    return {
+        "shard": shard,
+        "intensity": intensity,
+        "policy": stats.policy,
+        "makespan_s": run.makespan,
+        "wasted_pct": (100.0 * run.wasted_exec_s / exec_total
+                       if exec_total else 0.0),
+        "retry_amp": stats.attempts_total / len(run.records),
+        "p99_turnaround_s": float(np.percentile(turnarounds, 99)),
+        "backoff_s": stats.backoff_delay_s,
+        "breaker_trips": stats.breaker_trips,
+        "hedges_won": stats.hedges_won,
+        "timeouts": stats.timeouts,
+        "lost": stats.lost_tasks,
+    }
+
+
+def merge_shards(partials: list[dict], quick: bool = False,
+                 seed: int = 0) -> ExperimentResult:
+    """Deterministic shard merge: rows in (intensity, policy) order,
+    inflation computed against the clean-baseline shard."""
     result = ExperimentResult(
         "E13", "Recovery-policy shootout under chaos campaigns"
     )
     seed += BASE_SEED
+    by_key = {tuple(p["shard"]): p for p in partials}
+    clean_makespan = by_key[("clean", None)]["makespan_s"]
     intensities = [CAMPAIGN_INTENSITIES[0]] if quick \
         else list(CAMPAIGN_INTENSITIES)
-    clean = _run(None, None, seed)
     for intensity in intensities:
-        for policy in _policies(seed):
-            run = _run(intensity, policy, seed)
-            stats = run.resilience
-            useful = sum(r.exec_time for r in run.records.values())
-            exec_total = useful + run.wasted_exec_s
-            turnarounds = [r.turnaround for r in run.records.values()]
+        for policy_idx in range(len(_policies(0))):
+            part = by_key[(intensity, policy_idx)]
             result.row(
-                intensity=intensity,
-                policy=stats.policy,
-                makespan_s=run.makespan,
-                inflation=run.makespan / clean.makespan,
-                wasted_pct=(100.0 * run.wasted_exec_s / exec_total
-                            if exec_total else 0.0),
-                retry_amp=stats.attempts_total / len(run.records),
-                p99_turnaround_s=float(np.percentile(turnarounds, 99)),
-                backoff_s=stats.backoff_delay_s,
-                breaker_trips=stats.breaker_trips,
-                hedges_won=stats.hedges_won,
-                timeouts=stats.timeouts,
-                lost=stats.lost_tasks,
+                intensity=part["intensity"],
+                policy=part["policy"],
+                makespan_s=part["makespan_s"],
+                inflation=part["makespan_s"] / clean_makespan,
+                wasted_pct=part["wasted_pct"],
+                retry_amp=part["retry_amp"],
+                p99_turnaround_s=part["p99_turnaround_s"],
+                backoff_s=part["backoff_s"],
+                breaker_trips=part["breaker_trips"],
+                hedges_won=part["hedges_won"],
+                timeouts=part["timeouts"],
+                lost=part["lost"],
             )
     worst = intensities[-1]
     by_policy = {r["policy"]: r for r in result.rows
@@ -124,3 +170,11 @@ def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
         f"recovery, it never drops work"
     )
     return result
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    # The sequential path runs the very same shard/merge code the
+    # parallel runner fans out, so both produce byte-identical tables.
+    partials = [run_shard(s, quick=quick, seed=seed)
+                for s in list_shards(quick=quick, seed=seed)]
+    return merge_shards(partials, quick=quick, seed=seed)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.utils.tables import ascii_table
@@ -36,8 +37,29 @@ def render(result: ExperimentResult) -> str:
 
 def save_result(result: ExperimentResult, directory: str = "results") -> str:
     """Persist the rendered table under ``results/<id>.txt``; returns path."""
+    return save_rendered(render(result) + "\n",
+                         result.experiment_id.lower() + ".txt", directory)
+
+
+def save_rendered(text: str, filename: str, directory: str = "results") -> str:
+    """Atomically and durably write a rendered table; returns its path.
+
+    Same temp-file + fsync + :func:`os.replace` discipline as workflow
+    checkpoints: a crashed writer (e.g. a parallel bench worker killed
+    mid-save) can never leave a truncated ``results/eN.txt`` — readers
+    see either the old file or the complete new one.
+    """
     os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"{result.experiment_id.lower()}.txt")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(render(result) + "\n")
+    path = os.path.join(directory, filename)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".txt.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
     return path

@@ -14,7 +14,9 @@ Commands
   outages, link brownouts, sick boxes, stragglers, corrupted
   transfers) with a chosen recovery policy, and report every recovery
   action the resilience layer took,
-- ``bench`` — alias pointing at :mod:`repro.bench`'s CLI.
+- ``bench`` — the experiment suite runner (:mod:`repro.bench`):
+  sequential, parallel-sharded (``--jobs N``), and content-addressed
+  result caching (``--no-cache`` to bypass).
 """
 
 from __future__ import annotations
@@ -255,6 +257,12 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_bench(bench_argv: list[str]) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(bench_argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="continuum computing toolkit"
@@ -319,6 +327,19 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--out", metavar="FILE", default=None,
                          help="also export a Chrome trace-event JSON")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    sub.add_parser(
+        "bench",
+        help="run the E1-E13 experiment suite (supports --jobs N for "
+             "parallel sharding and a content-addressed result cache); "
+             "all following arguments are forwarded to repro.bench",
+    )
+
+    # `bench` forwards its entire tail (including option flags, which
+    # argparse.REMAINDER mishandles) to the suite runner's own parser.
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "bench":
+        return _cmd_bench(raw[1:])
 
     args = parser.parse_args(argv)
     try:

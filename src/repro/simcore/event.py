@@ -1,11 +1,38 @@
-"""Event and event-queue primitives for the discrete-event kernel."""
+"""Event and event-queue primitives for the discrete-event kernel.
+
+The queue is the hottest structure in the whole system — every timeout,
+wakeup, and watchdog in every experiment passes through it — so it
+carries three fast-path mechanisms on top of the plain binary heap:
+
+- a **same-instant ready lane**: callbacks scheduled for the current
+  instant (process wakeups, zero-delay timeouts) go to a FIFO deque
+  instead of the heap. Sequence numbers still stamp every event, so the
+  merge at pop keeps the exact global (time, seq) order a single heap
+  would produce — the lane only removes the O(log n) heap traffic.
+- **heap compaction**: lazily-cancelled events (watchdog timeouts that
+  the guarded attempt beat) are rebuilt out of the heap once they
+  outnumber live entries, bounding the bloat of timeout-heavy runs.
+- an **event free list**: events the kernel creates internally (no
+  caller ever holds a reference) are recycled after dispatch instead of
+  being reallocated, cutting allocator churn in wakeup-heavy runs.
+  Events returned by ``push`` escape to callers (for ``cancel``) and
+  are never pooled, so a stale handle can never alias a live event.
+"""
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Callable
 
 from repro.errors import SimulationError
+
+# Compaction fires when the heap holds more cancelled than live entries
+# and enough of them to be worth an O(n) rebuild.
+_COMPACT_MIN_DEAD = 64
+# Free-list cap: bounds worst-case retained garbage, covers the common
+# steady-state of a few hundred in-flight wakeups.
+_POOL_MAX = 512
 
 
 class Event:
@@ -16,7 +43,7 @@ class Event:
     FIFO order — the property that makes simulations deterministic.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "pooled")
 
     def __init__(self, time: float, seq: int, callback: Callable, args: tuple = ()):
         self.time = time
@@ -24,13 +51,18 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.pooled = False
 
     def cancel(self) -> None:
         """Mark the event dead; the queue skips it lazily on pop."""
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Direct time-then-seq comparison: no tuple allocation per
+        # comparison (this runs O(log n) times per heap operation).
+        return self.time < other.time or (
+            self.time == other.time and self.seq < other.seq
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -38,52 +70,157 @@ class Event:
 
 
 class EventQueue:
-    """Binary-heap priority queue of :class:`Event` with lazy cancellation.
+    """Priority queue of :class:`Event`: binary heap + same-instant lane.
 
-    Cancelled events stay in the heap until popped, then get skipped;
-    this keeps ``cancel`` O(1) at the cost of transient heap growth, the
-    standard trade-off for simulators with timeouts that rarely fire.
+    Cancelled events stay in the heap until popped or compacted away;
+    this keeps ``cancel`` O(1) while compaction bounds the transient
+    growth from timeouts that rarely fire.
     """
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_ready", "_seq", "_dead", "_pool",
+                 "compactions", "pool_reuses")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
+        self._ready: deque[Event] = deque()
         self._seq = 0
-        self._live = 0
+        self._dead = 0          # cancelled events still sitting in the heap
+        self._pool: list[Event] = []
+        self.compactions = 0
+        self.pool_reuses = 0
 
+    # -- scheduling ----------------------------------------------------------
     def push(self, time: float, callback: Callable, args: tuple = ()) -> Event:
-        """Create and enqueue an event; returns it (for cancellation)."""
+        """Create and enqueue an event; returns it (for cancellation).
+
+        The returned event escapes to the caller, so it is never drawn
+        from or released to the free list.
+        """
         event = Event(time, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        self._live += 1
         return event
 
+    def push_pooled(self, time: float, callback: Callable, args: tuple) -> None:
+        """Heap-enqueue a kernel-internal event (reference never escapes,
+        so it may come from — and return to — the free list)."""
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            self.pool_reuses += 1
+        else:
+            event = Event(time, self._seq, callback, args)
+            event.pooled = True
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+
+    def push_ready(self, time: float, callback: Callable, args: tuple) -> None:
+        """Same-instant fast path: enqueue a kernel-internal callback for
+        the *current* simulated instant without touching the heap.
+
+        Callers must pass ``time == now``. Appends are in seq order and
+        the clock only moves forward, so the lane stays sorted by
+        (time, seq) and a head-to-head merge with the heap at pop
+        reproduces exact FIFO order.
+        """
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            self.pool_reuses += 1
+        else:
+            event = Event(time, self._seq, callback, args)
+            event.pooled = True
+        self._seq += 1
+        self._ready.append(event)
+
+    def push_back(self, event: Event) -> None:
+        """Reinsert a popped-but-undispatched event (``run`` overshot
+        ``until``); seq is preserved so ordering is unaffected."""
+        heapq.heappush(self._heap, event)
+
+    # -- dequeue -------------------------------------------------------------
     def pop(self) -> Event:
         """Pop the earliest non-cancelled event.
 
         Raises :class:`SimulationError` when no live event remains.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                self._live -= 1
-                return event
-        raise SimulationError("pop from empty event queue")
+        event = self._pop_or_none()
+        if event is None:
+            raise SimulationError("pop from empty event queue")
+        return event
+
+    def _pop_or_none(self) -> Event | None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        ready = self._ready
+        if ready:
+            if not heap or not (heap[0] < ready[0]):
+                return ready.popleft()
+            return heapq.heappop(heap)
+        if heap:
+            return heapq.heappop(heap)
+        return None
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event, or None when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if self._ready:
+            ready_time = self._ready[0].time
+            if heap and heap[0].time < ready_time:
+                return heap[0].time
+            return ready_time
+        return heap[0].time if heap else None
+
+    # -- lifecycle -----------------------------------------------------------
+    def recycle(self, event: Event) -> None:
+        """Return a dispatched kernel-internal event to the free list.
+
+        Caller-visible events (``pooled`` False) are ignored: a caller
+        may still hold them, so reuse could alias a stale ``cancel``
+        onto an unrelated future event.
+        """
+        if event.pooled and len(self._pool) < _POOL_MAX:
+            event.callback = None   # drop refs so the pool pins nothing
+            event.args = ()
+            self._pool.append(event)
 
     def note_cancelled(self) -> None:
-        """Bookkeeping hook: caller cancelled an event it got from push."""
-        self._live -= 1
+        """Bookkeeping hook: caller cancelled an event it got from push.
+
+        Triggers heap compaction once dead entries outnumber live ones —
+        the heap is rebuilt from live events only. Ordering is untouched:
+        pop order is the total order (time, seq) regardless of the
+        heap's internal arrangement.
+        """
+        self._dead += 1
+        heap = self._heap
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(heap):
+            self._heap = [event for event in heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._dead = 0
+            self.compactions += 1
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def heap_size(self) -> int:
+        """Raw heap entries, live + cancelled (compaction bounds this)."""
+        return len(self._heap)
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._heap) - self._dead + len(self._ready)
 
     def __bool__(self) -> bool:
-        return self._live > 0
+        return bool(self._ready) or len(self._heap) > self._dead

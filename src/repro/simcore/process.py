@@ -17,6 +17,7 @@ receives its return value (or re-raises its exception).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Generator
 
 from repro.errors import SimulationError
@@ -91,8 +92,10 @@ class Timeout(Waitable):
 
     def __init__(self, delay: float, result=None):
         super().__init__()
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
+        if delay < 0 or not math.isfinite(delay):
+            raise SimulationError(
+                f"negative or non-finite timeout delay: {delay}"
+            )
         self.delay = float(delay)
         self.result = result
 
@@ -100,7 +103,9 @@ class Timeout(Waitable):
         first = self._sim is None
         super()._bind(sim)
         if first:
-            sim._queue.push(sim.now + self.delay, self._fire, (self.result,))
+            # Pooled wakeup: no caller holds the queue event, and a
+            # zero-delay timeout takes the same-instant ready lane.
+            sim._wakeup(self.delay, self._fire, (self.result,))
 
 
 class Signal(Waitable):

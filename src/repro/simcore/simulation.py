@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from math import isfinite
 from collections.abc import Callable, Generator
 
 from repro.errors import SimulationError
@@ -36,15 +37,19 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
     def schedule(self, delay: float, callback: Callable, *args) -> Event:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if delay < 0 or not isfinite(delay):
+            # NaN compares False against everything, so a plain `< 0`
+            # check would wave NaN through and corrupt heap order.
+            raise SimulationError(f"cannot schedule at non-finite or past "
+                                  f"time (delay={delay})")
         return self._queue.push(self._now + delay, callback, args)
 
     def schedule_at(self, time: float, callback: Callable, *args) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
-        if time < self._now:
+        if time < self._now or not isfinite(time):
             raise SimulationError(
-                f"cannot schedule in the past (t={time} < now={self._now})"
+                f"cannot schedule at non-finite or past time "
+                f"(t={time}, now={self._now})"
             )
         return self._queue.push(time, callback, args)
 
@@ -57,7 +62,18 @@ class Simulator:
     def _immediate(self, callback: Callable, arg) -> None:
         """Schedule ``callback(arg)`` at the current instant (after events
         already queued for this instant — preserves FIFO causality)."""
-        self._queue.push(self._now, callback, (arg,))
+        self._queue.push_ready(self._now, callback, (arg,))
+
+    def _wakeup(self, delay: float, callback: Callable, args: tuple) -> None:
+        """Kernel-internal deferred callback (e.g. a Timeout firing).
+
+        No reference escapes, so the event is pooled; zero-delay wakeups
+        take the same-instant ready lane and skip the heap entirely.
+        """
+        if delay == 0.0:
+            self._queue.push_ready(self._now, callback, args)
+        else:
+            self._queue.push_pooled(self._now + delay, callback, args)
 
     # -- processes & waitables ------------------------------------------------
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -78,16 +94,27 @@ class Simulator:
         return Signal(self)
 
     # -- running ---------------------------------------------------------------
-    def step(self) -> bool:
-        """Execute the next event; returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        event = self._queue.pop()
+    def _dispatch(self, event: Event) -> None:
+        """Advance the clock to ``event`` and run its callback."""
         if event.time < self._now:
             raise SimulationError("event queue produced a time in the past")
         self._now = event.time
         self.event_count += 1
         event.callback(*event.args)
+        if event.pooled:
+            self._queue.recycle(event)
+        else:
+            # A caller may still hold this event and cancel() it later;
+            # marking it cancelled keeps that a true no-op instead of
+            # corrupting the queue's dead-entry accounting.
+            event.cancelled = True
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        event = self._queue._pop_or_none()
+        if event is None:
+            return False
+        self._dispatch(event)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -101,20 +128,43 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         fired = 0
+        queue = self._queue
+        pop = queue._pop_or_none
+        recycle = queue.recycle
+        drained = False
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if until is not None and next_time is not None and next_time > until:
-                    self._now = max(self._now, until)
+            # Single-pop loop: each iteration pays one heap/lane pop;
+            # the one event that overshoots `until` (or lands after a
+            # max_events stop) is pushed back with its seq intact.
+            while True:
+                event = pop()
+                if event is None:
+                    drained = True
+                    break
+                time = event.time
+                if until is not None and time > until:
+                    queue.push_back(event)
+                    if until > self._now:
+                        self._now = until
                     break
                 if max_events is not None and fired >= max_events:
+                    queue.push_back(event)
                     break
-                self.step()
+                if time < self._now:
+                    raise SimulationError(
+                        "event queue produced a time in the past"
+                    )
+                self._now = time
                 fired += 1
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+                event.callback(*event.args)
+                if event.pooled:
+                    recycle(event)
+                else:
+                    event.cancelled = True
+            if drained and until is not None and until > self._now:
+                self._now = until
         finally:
+            self.event_count += fired
             self._running = False
         return self._now
 

@@ -1,5 +1,7 @@
 import os
 
+import pytest
+
 from repro.bench.harness import ExperimentResult, render, save_result
 
 
@@ -42,3 +44,48 @@ class TestSave:
         result.row(x=1)
         save_result(result, target)
         assert os.path.isdir(target)
+
+
+class TestAtomicSave:
+    """Regression: a crashed (parallel) worker must never leave a
+    truncated ``results/eN.txt`` — same temp-file + fsync + os.replace
+    discipline as workflow checkpoints."""
+
+    def _result(self, marker: str) -> ExperimentResult:
+        result = ExperimentResult("E7", "atomic save")
+        result.row(marker=marker)
+        return result
+
+    def test_save_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            assert synced, "os.replace ran before any fsync"
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = save_result(self._result("x"), str(tmp_path))
+        assert "marker" in open(path).read()
+
+    def test_failed_replace_keeps_old_table_and_no_litter(
+            self, tmp_path, monkeypatch):
+        path = save_result(self._result("old"), str(tmp_path))
+        old_text = open(path).read()
+
+        def boom(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            save_result(self._result("new"), str(tmp_path))
+        monkeypatch.undo()
+        assert open(path).read() == old_text
+        litter = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert litter == []

@@ -38,6 +38,38 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.schedule_at(4.0, lambda: None)
 
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_schedule_non_finite_delay_raises(self, delay):
+        """Regression: NaN compares False against 0, so the old
+        `delay < 0` guard waved NaN through and silently corrupted heap
+        order; inf parked never-drainable events in the queue."""
+        with pytest.raises(SimulationError):
+            Simulator().schedule(delay, lambda: None)
+
+    @pytest.mark.parametrize("time", [float("nan"), float("inf"),
+                                      float("-inf")])
+    def test_schedule_at_non_finite_time_raises(self, time):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_at(time, lambda: None)
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf")])
+    def test_timeout_non_finite_delay_raises(self, delay):
+        with pytest.raises(SimulationError):
+            Timeout(delay)
+
+    def test_nan_schedule_cannot_corrupt_order(self):
+        """The concrete corruption the guard prevents: a NaN-timed event
+        poisons heap comparisons for every later event."""
+        sim = Simulator()
+        order = []
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), order.append, "poison")
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.run()
+        assert order == ["a", "b"]
+
     def test_cancel_prevents_callback(self):
         sim = Simulator()
         fired = []
