@@ -1,23 +1,36 @@
-"""Event-kernel microbenchmarks: optimized kernel vs the frozen seed kernel.
+"""Event-kernel microbenchmarks across the kernel's three generations.
 
-Times the discrete-event kernel's hot paths against a faithful copy of
-the pre-fast-path implementation (tuple-allocating ``__lt__``, peek+pop
-double traversal in ``run``, no compaction, no free list, no
-same-instant lane). Both kernels drive the *same* process/waitable
-machinery, so the measured gap is exactly the queue + run-loop work.
+Three kernels are timed against each other:
+
+- the frozen **seed** kernel (faithful copy below: tuple-allocating
+  ``__lt__``, peek+pop double traversal in ``run``, no compaction, no
+  free list, no same-instant lane);
+- the **heap** kernel (``HeapEventQueue``, the PR-4 fast path:
+  allocation-free compare, lazy-cancel compaction, free list, ready
+  lane);
+- the **calendar** kernel (``CalendarQueue``, the default: bucketed
+  O(1) insert, far-future list, adaptive window).
+
+The simulator-level workloads compare the default kernel against the
+seed; the million-event queue-level workloads compare the calendar
+queue against the heap queue directly, so the measured gap is pure
+scheduler data-structure work with no process-machinery dilution.
 
 Run as a script to refresh the machine-readable perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py --out BENCH_kernel.json
 
-Each workload also cross-checks determinism: the reference and the
-optimized kernel must fire the same number of events and finish at the
-same simulated clock.
+Every workload cross-checks determinism: both kernels must fire the
+same number of events and finish at the same simulated clock. GC is
+disabled inside the timed regions (a 2M-object churn otherwise spends
+a large, run-to-run-variable fraction of its time in gen-2 collections
+— noise, not kernel signal).
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import heapq
 import json
 import platform
@@ -26,6 +39,7 @@ import time
 from datetime import datetime, timezone
 
 from repro.simcore import Simulator, Timeout
+from repro.simcore.event import CalendarQueue, HeapEventQueue
 from repro.simcore.process import Process
 
 
@@ -212,6 +226,48 @@ def run_until_slices(sim_cls):
     return sim.event_count, sim.now
 
 
+def queue_watchdog_churn(queue_cls, chains: int, iters: int):
+    """Queue-level watchdog churn at production scale.
+
+    The same pattern as :func:`timeout_watchdog_churn`, but driving the
+    queue surface directly (push / pop / cancel) with a thin driver, so
+    the measurement is the scheduler data structure itself: ``chains``
+    concurrent attempt-loops, each step arming a far-future watchdog
+    that is cancelled 96% of the time. The pending population stays at
+    ~2x ``chains`` — at 20k chains a binary heap pays ~15 Python-level
+    comparisons per operation while the calendar queue classifies with
+    one multiply.
+    """
+    q = queue_cls()
+    state: dict = {}
+    push = q.push
+    pop = q._pop_or_none
+    note_cancelled = q.note_cancelled
+    for c in range(chains):
+        push(0.5 * (c % 10) / 10, None, (c, 0))
+    pops = 0
+    last_t = 0.0
+    while True:
+        e = pop()
+        if e is None:
+            break
+        pops += 1
+        args = e.args
+        if args:
+            c, k = args
+            wd = state.pop(c, None)
+            if wd is not None and k % 25:
+                wd.cancelled = True
+                note_cancelled()
+            if k < iters:
+                t = e.time
+                state[c] = push(t + 300.0, None)
+                push(t + 0.5, None, (c, k + 1))
+        last_t = e.time
+    return pops, last_t
+
+
+# Simulator-level workloads: default kernel vs the frozen seed kernel.
 WORKLOADS = [
     ("timeout_watchdog_churn", timeout_watchdog_churn),
     ("process_wakeup_storm", process_wakeup_storm),
@@ -219,38 +275,65 @@ WORKLOADS = [
     ("run_until_slices", run_until_slices),
 ]
 
+# Queue-level workloads at million-event scale: calendar queue vs the
+# PR-4 heap queue. (The seed kernel is omitted here — with no
+# compaction its heap retains every cancelled watchdog and the run
+# degenerates to minutes.)
+MILLION_WORKLOADS = [
+    # ~1.06M pops, pending population ~40k at peak
+    ("timeout_watchdog_churn_1m",
+     lambda queue_cls: queue_watchdog_churn(queue_cls, 20000, 50)),
+]
+
 
 def _best_of(fn, arg, repeat):
     best, result = float("inf"), None
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        result = fn(arg)
-        best = min(best, time.perf_counter() - t0)
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            result = fn(arg)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        gc.enable()
     return best, result
+
+
+def _compare(name, workload, baseline_arg, optimized_arg, baseline, reps):
+    base_s, base_obs = _best_of(workload, baseline_arg, reps)
+    opt_s, opt_obs = _best_of(workload, optimized_arg, reps)
+    if base_obs != opt_obs:
+        raise AssertionError(
+            f"{name}: kernels diverged — baseline observed {base_obs}, "
+            f"optimized {opt_obs}"
+        )
+    events = opt_obs[0]
+    return {
+        "name": name,
+        "baseline": baseline,
+        "events": events,
+        "reference_s": round(base_s, 6),
+        "optimized_s": round(opt_s, 6),
+        "speedup": round(base_s / opt_s, 3),
+        "optimized_events_per_s": round(events / opt_s),
+    }
 
 
 def run_benchmarks(repeat: int = 5, quick: bool = False) -> dict:
     rows = []
+    reps = max(1, repeat // 2) if quick else repeat
     for name, workload in WORKLOADS:
-        reps = max(1, repeat // 2) if quick else repeat
-        ref_s, (ref_events, ref_clock) = _best_of(workload, RefSimulator, reps)
-        opt_s, (opt_events, opt_clock) = _best_of(workload, Simulator, reps)
-        if (ref_events, ref_clock) != (opt_events, opt_clock):
-            raise AssertionError(
-                f"{name}: kernels diverged — reference fired {ref_events} "
-                f"events to t={ref_clock}, optimized {opt_events} to "
-                f"t={opt_clock}"
-            )
-        rows.append({
-            "name": name,
-            "events": opt_events,
-            "reference_s": round(ref_s, 6),
-            "optimized_s": round(opt_s, 6),
-            "speedup": round(ref_s / opt_s, 3),
-            "optimized_events_per_s": round(opt_events / opt_s),
-        })
+        def sim_workload(sim_cls, workload=workload):
+            return workload(sim_cls)
+        rows.append(_compare(name, sim_workload, RefSimulator, Simulator,
+                             "seed-kernel", reps))
+    million_reps = 1 if quick else max(2, repeat // 2)
+    for name, workload in MILLION_WORKLOADS:
+        rows.append(_compare(name, workload, HeapEventQueue, CalendarQueue,
+                             "heap-pr4", million_reps))
     return {
-        "schema": "repro-bench-kernel/1",
+        "schema": "repro-bench-kernel/2",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -269,7 +352,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     report = run_benchmarks(repeat=args.repeat, quick=args.quick)
     for row in report["benchmarks"]:
-        print(f"{row['name']:<26} ref {row['reference_s']:.4f}s  "
+        print(f"{row['name']:<26} vs {row['baseline']:<11} "
+              f"ref {row['reference_s']:.4f}s  "
               f"opt {row['optimized_s']:.4f}s  "
               f"speedup {row['speedup']:.2f}x  "
               f"({row['optimized_events_per_s']:,.0f} events/s)")

@@ -53,15 +53,38 @@ def _as_incidence(n_links: int, flow_links) -> np.ndarray:
                 f"incidence matrix shape {flow_links.shape} does not match "
                 f"{n_links} links"
             )
+        if not np.issubdtype(flow_links.dtype, np.floating):
+            raise NetworkError(
+                f"incidence matrix must be a float array, got dtype "
+                f"{flow_links.dtype}"
+            )
         return flow_links
     return _incidence(n_links, flow_links)
 
 
 def _check_capacities(capacities) -> np.ndarray:
     cap = np.asarray(capacities, dtype=float)
+    if cap.ndim != 1:
+        raise NetworkError(
+            f"capacities must be a 1-D sequence, got shape {cap.shape}"
+        )
     if np.any(cap <= 0) or not np.all(np.isfinite(cap)):
         raise NetworkError("all link capacities must be positive and finite")
     return cap
+
+
+def _check_rates(rates, n_flows: int) -> np.ndarray:
+    """Validate a rate vector the way :func:`_check_capacities` validates
+    capacities: 1-D, one entry per flow, no NaN, no negative entries
+    (``inf`` is legal — it is the rate of a local flow)."""
+    r = np.asarray(rates, dtype=float)
+    if r.ndim != 1:
+        raise NetworkError(f"rates must be a 1-D sequence, got shape {r.shape}")
+    if len(r) != n_flows:
+        raise NetworkError(f"{len(r)} rates for {n_flows} flows")
+    if np.any(np.isnan(r)) or np.any(r < 0):
+        raise NetworkError("all rates must be non-negative and not NaN")
+    return r
 
 
 def max_min_fair_rates(
@@ -167,22 +190,47 @@ def weighted_max_min_rates(
     local = A.sum(axis=0) == 0
     rates[local] = math.inf
     active &= ~local
+    n_remaining = int(active.sum())
 
+    # Per-link sum of active weights, maintained incrementally: each
+    # level subtracts exactly the matvec of the newly-frozen columns
+    # instead of recomputing the full A @ (active * w) — O(links x
+    # frozen) per level rather than O(links x flows), which drops the
+    # whole solve from O(levels x links x flows) to O(links x flows)
+    # total. Unlike unit counts, weight sums are not exact in floats,
+    # so a guard backs the subtraction: per-link *active flow counts*
+    # (exact small integers in float64, like plain max-min keeps) say
+    # which links still carry active flows, and if cancellation ever
+    # drives such a link's load to <= 0 the load is recomputed fresh.
+    weight_load = A @ (active * w)
+    counts = A @ active.astype(float)
     remaining = cap.copy()
     with np.errstate(divide="ignore", invalid="ignore"):
-        while active.any():
-            # per-link sum of active weights; the bottleneck is the link
-            # with the smallest capacity per unit weight
-            weight_load = A @ (active * w)
+        while n_remaining > 0:
+            # the bottleneck is the link with the smallest capacity per
+            # unit of active weight
             level = np.where(weight_load > 0, remaining / weight_load,
                              math.inf)
             l_star = int(np.argmin(level))
             fair_level = level[l_star]
             newly = active & (A[l_star] > 0)
             rates[newly] = fair_level * w[newly]
-            remaining -= A[:, newly] @ rates[newly]
+            A_newly = A[:, newly]
+            remaining -= A_newly @ rates[newly]
             remaining = np.maximum(remaining, 0.0)
             active &= ~newly
+            weight_load -= A_newly @ w[newly]
+            counts -= A_newly.sum(axis=1)
+            n_remaining -= int(newly.sum())
+            # A link with no active flows left must read exactly zero
+            # load (a fresh recompute would): a leftover subtraction
+            # residual of either sign would otherwise produce a bogus
+            # finite level (0 remaining / tiny residual = 0 would even
+            # win the argmin and stall the loop).
+            weight_load[counts == 0.0] = 0.0
+            if n_remaining > 0 and np.any((weight_load <= 0.0)
+                                          & (counts > 0.0)):
+                weight_load = A @ (active * w)
     return rates
 
 
@@ -197,20 +245,19 @@ def equal_share_rates(
     """
     cap = _check_capacities(capacities)
     A = _as_incidence(len(cap), flow_links)
-    n_flows = A.shape[1]
+    n_links, n_flows = A.shape
     rates = np.full(n_flows, math.inf)
-    if n_flows == 0:
+    if n_flows == 0 or n_links == 0:
         return rates
     counts = A.sum(axis=1)
     with np.errstate(divide="ignore", invalid="ignore"):
         per_link = np.where(counts > 0, cap / counts, math.inf)
-    # min over the links each flow traverses; flows with no links stay inf
-    on = A > 0
-    for f in range(n_flows):
-        links = np.nonzero(on[:, f])[0]
-        if links.size:
-            rates[f] = float(per_link[links].min())
-    return rates
+    # Vectorized masked min over the links each flow traverses: links a
+    # flow does not use contribute +inf, so flows with no links stay
+    # inf. min() over the same value set is exact, so this is
+    # bit-identical to the per-flow scalar loop it replaces.
+    contrib = np.where(A > 0, per_link[:, None], math.inf)
+    return contrib.min(axis=0)
 
 
 def link_loads(
@@ -219,7 +266,13 @@ def link_loads(
     rates: Sequence[float],
 ) -> np.ndarray:
     """Aggregate per-link load implied by an allocation (for invariant
-    checks: ``link_loads(...) <= capacities`` within tolerance)."""
+    checks: ``link_loads(...) <= capacities`` within tolerance).
+
+    ``rates`` is validated like capacities are: 1-D, one entry per
+    flow, non-negative, NaN-free. Infinite rates (local flows, which
+    traverse no links) contribute zero load.
+    """
     A = _as_incidence(n_links, flow_links)
-    finite = np.where(np.isfinite(rates), rates, 0.0)
-    return A @ np.asarray(finite, dtype=float)
+    r = _check_rates(rates, A.shape[1])
+    finite = np.where(np.isfinite(r), r, 0.0)
+    return A @ finite

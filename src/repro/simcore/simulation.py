@@ -21,8 +21,12 @@ class Simulator:
         print(sim.now)
     """
 
-    def __init__(self, start_time: float = 0.0):
-        self._queue = EventQueue()
+    def __init__(self, start_time: float = 0.0, queue: EventQueue | None = None):
+        # `queue` swaps the scheduler implementation (default: the
+        # calendar queue; `HeapEventQueue` is the drop-in fallback the
+        # kernel benchmarks measure against). Any implementation must
+        # preserve global (time, seq) FIFO order.
+        self._queue = queue if queue is not None else EventQueue()
         self._now = float(start_time)
         self._running = False
         self._processes_started = 0
@@ -56,7 +60,7 @@ class Simulator:
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (no-op if it already fired/cancelled)."""
         if not event.cancelled:
-            event.cancel()
+            event.cancelled = True
             self._queue.note_cancelled()
 
     def _immediate(self, callback: Callable, arg) -> None:

@@ -24,9 +24,20 @@ from repro.simcore import Simulator, Timeout
 from repro.simcore.event import (
     _COMPACT_MIN_DEAD,
     _POOL_MAX,
+    CalendarQueue,
     EventQueue,
+    HeapEventQueue,
+    _should_reclaim,
 )
 from repro.simcore.process import Process
+
+
+def _calendar_sim():
+    return Simulator(queue=CalendarQueue())
+
+
+def _heap_sim():
+    return Simulator(queue=HeapEventQueue())
 
 
 # ---------------------------------------------------------------------------
@@ -186,16 +197,20 @@ class TestDifferential:
     @settings(max_examples=60, deadline=None)
     @given(st.lists(_op, min_size=1, max_size=60))
     def test_identical_firing_sequence(self, ops):
+        """Both production kernels (calendar default and heap fallback)
+        must observe the frozen seed kernel's exact firing sequence."""
         ref = _drive(_RefSimulator, ops)
-        opt = _drive(Simulator, ops)
-        assert opt == ref
+        assert _drive(_calendar_sim, ops) == ref
+        assert _drive(_heap_sim, ops) == ref
 
     def test_dense_same_instant_interleaving(self):
         """Zero-delay timeouts (ready lane) interleaved with equal-time
         heap events must fire in exact seq order on both kernels."""
         ops = [("timeout_proc", 0.0, 5), ("schedule", 0.0, 0)] * 10 + \
               [("cancelable", 0.0, 1)] * 5
-        assert _drive(Simulator, ops) == _drive(_RefSimulator, ops)
+        ref = _drive(_RefSimulator, ops)
+        assert _drive(_calendar_sim, ops) == ref
+        assert _drive(_heap_sim, ops) == ref
 
 
 # ---------------------------------------------------------------------------
@@ -325,6 +340,176 @@ class TestReadyLane:
         sim.schedule(1.0, kick)
         sim.run()
         assert order == ["heap-first", "lane-second", "heap-third"]
+
+
+# ---------------------------------------------------------------------------
+# Reclamation policy (satellite: explicit policy, both branches)
+# ---------------------------------------------------------------------------
+
+class TestReclaimPolicy:
+    def test_large_population_branch(self):
+        # fires exactly when dead >= 64 AND dead > live
+        assert _should_reclaim(dead=64, live=63)
+        assert not _should_reclaim(dead=64, live=64)
+        assert not _should_reclaim(dead=63, live=16)   # below floor...
+        assert _should_reclaim(dead=63, live=15)       # ...small branch
+
+    def test_small_population_branch(self):
+        # the latent-gap fix: tiny live sets reclaim at dead >= 8
+        # once dead exceed 4x live
+        assert _should_reclaim(dead=8, live=1)
+        assert not _should_reclaim(dead=8, live=2)
+        assert not _should_reclaim(dead=7, live=0)     # below small floor
+        assert _should_reclaim(dead=9, live=2)
+
+    @pytest.mark.parametrize("queue_cls", [HeapEventQueue, CalendarQueue])
+    def test_small_heap_churn_stays_bounded(self, queue_cls):
+        """Sustained cancel churn against a tiny live set: the old
+        ``dead >= 64`` floor never fired here, so dead entries pinned
+        ~63 slots forever. The small-population clause reclaims them."""
+        q = queue_cls()
+        keeper = q.push(1e9, _noop)     # one long-lived event
+        for i in range(500):
+            e = q.push(500.0 + i, _noop)
+            e.cancel()
+            q.note_cancelled()
+            assert q.heap_size <= 12    # 1 live + at most ~2x4 dead
+        assert q.compactions >= 1
+        assert not keeper.cancelled
+
+    @pytest.mark.parametrize("queue_cls", [HeapEventQueue, CalendarQueue])
+    def test_reclaim_preserves_order(self, queue_cls):
+        q = queue_cls()
+        events = [q.push(float(i % 7), _noop, (i,)) for i in range(300)]
+        for i, e in enumerate(events):
+            if i % 3 != 0:
+                e.cancel()
+                q.note_cancelled()
+        assert q.compactions >= 1
+        survivors = [e for i, e in enumerate(events) if i % 3 == 0]
+        expected = sorted(survivors, key=lambda e: (e.time, e.seq))
+        assert [q.pop() for _ in range(len(q))] == expected
+
+
+# ---------------------------------------------------------------------------
+# Calendar-queue mechanics
+# ---------------------------------------------------------------------------
+
+class TestCalendarMechanics:
+    def test_insert_behind_cursor_rewinds(self):
+        """An insert that precedes the consuming front (cursor already
+        deep into the window) must fire in exact order, not be lost or
+        deferred past later events."""
+        q = CalendarQueue()
+        for i in range(64):
+            q.push(float(i), _noop, (i,))
+        # drag the cursor forward
+        popped = [q.pop().time for _ in range(10)]
+        assert popped == [float(i) for i in range(10)]
+        # now insert *between* the last pop and the bucket being drained
+        q.push(9.25, _noop, ("rewind",))
+        q.push(9.5, _noop, ("rewind2",))
+        rest = [q.pop().time for _ in range(len(q))]
+        assert rest == sorted(rest)
+        assert rest[0] == 9.25 and rest[1] == 9.5
+
+    def test_window_advance_covers_far_future(self):
+        # few enough events that no growth rebuild widens the window:
+        # the tail events stay in the far list until a window advance
+        q = CalendarQueue()
+        times = [float(i) for i in range(20)] + [1e6, 2e6]
+        for t in times:
+            q.push(t, _noop)
+        popped = [q.pop().time for _ in range(len(q))]
+        assert popped == sorted(times)
+        assert q.advances >= 1          # far events required a new window
+
+    def test_empty_reseed_reanchors(self):
+        """Draining the queue and scheduling far from the old window
+        must not degrade into spill traffic: the first insert into an
+        empty calendar re-anchors the regime."""
+        q = CalendarQueue()
+        for i in range(20):
+            q.push(float(i), _noop)
+        while q:
+            q.pop()
+        q.push(1e9, _noop, ("late",))
+        q.push(1e9 + 1.0, _noop)
+        assert q.pop().args == ("late",)
+        assert q.pop().time == 1e9 + 1.0
+
+    def test_far_list_sweep_skips_full_rebuild(self):
+        """Cancelled far-future watchdogs are reclaimed by the in-place
+        far sweep — the bucketed window is left untouched."""
+        q = CalendarQueue()
+        # teach the queue a pop rate so rebuilt windows are rate-sized
+        # (narrow) and far-future arms actually land in the far list
+        for i in range(64):
+            q.push(i * 0.1, _noop)
+        while q:
+            q.pop()
+        q.push(6.5, _noop)              # hot event inside the window
+        events = [q.push(1e6 + i, _noop) for i in range(600)]
+        assert len(q._far) > 500        # the arms really are far-future
+        rebuilds_before = q.rebuilds
+        for e in events:
+            e.cancel()
+            q.note_cancelled()
+        assert q.compactions >= 1
+        assert q.heap_size <= 70        # dead harvested wholesale
+        # growth rebuilds aside, reclamation itself never re-laid-out
+        assert q.rebuilds == rebuilds_before
+        assert q.pop().time == 6.5
+
+    def test_adaptive_bucket_count_tracks_population(self):
+        q = CalendarQueue()
+        assert q._nb == 16              # minimum regime
+        for i in range(5000):
+            q.push(float(i) * 0.25, _noop)
+        assert q._nb >= 1024            # grew with the live population
+        while q:
+            q.pop()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(0, 1e4), st.integers(0, 3)),
+        min_size=1, max_size=150,
+    ))
+    def test_property_interleaved_push_pop_order(self, spec):
+        """Random interleaving of pushes, pops, and cancels: the popped
+        (time, seq) sequence must be globally sorted. Exercises rewind,
+        spill, window advance, and reclamation together."""
+        q = CalendarQueue()
+        last = (-1.0, -1)
+        live = 0
+        cancelable = []
+        for t, action in spec:
+            if action == 0 or not live:
+                cancelable.append(q.push(max(t, last[0]), _noop))
+                live += 1
+            elif action == 1:
+                e = q.pop()
+                key = (e.time, e.seq)
+                assert key > last
+                last = key
+                live -= 1
+                if e in cancelable:     # fired: a later cancel would be
+                    cancelable.remove(e)  # a stale-handle no-op
+
+            elif action == 2 and cancelable:
+                e = cancelable.pop()
+                if not e.cancelled:
+                    e.cancel()
+                    q.note_cancelled()
+                    live -= 1
+            else:
+                q.push(max(t, last[0]) + 1.0, _noop)
+                live += 1
+        popped = [q.pop() for _ in range(len(q))]
+        keys = [(e.time, e.seq) for e in popped]
+        assert keys == sorted(keys)
+        if keys:
+            assert keys[0] > last
 
 
 # ---------------------------------------------------------------------------
