@@ -1,0 +1,33 @@
+"""E14 — strategy rankings across the topology zoo under churn
+(tentpole of the generator library)."""
+
+import math
+
+from conftest import rows_where
+
+from repro.bench.e14_topology_zoo import run_experiment
+
+
+def test_e14_topology_zoo(benchmark, record_experiment):
+    result = record_experiment(
+        benchmark.pedantic(run_experiment, kwargs={"quick": False},
+                           rounds=1, iterations=1)
+    )
+    # every family was measured calm and churned
+    families = {r["family"] for r in result.rows}
+    assert len(families) == 6
+    for family in families:
+        calm = rows_where(result, family=family, churn="none")[0]
+        stormy = rows_where(result, family=family, churn="high")[0]
+        # churn bites: the strategy spread widens or offload starts
+        # paying at a lower bandwidth scale
+        crossed_earlier = (
+            not math.isnan(stormy["crossover_x"])
+            and (math.isnan(calm["crossover_x"])
+                 or stormy["crossover_x"] <= calm["crossover_x"])
+        )
+        assert stormy["spread"] > calm["spread"] or crossed_earlier
+        # a lookahead or core-seeking scheduler tops every cell; blind
+        # baselines never do
+        assert stormy["best"] in ("greedy-eft", "heft", "min-min",
+                                  "max-min", "cloud-only", "data-gravity")

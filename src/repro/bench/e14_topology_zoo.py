@@ -1,0 +1,212 @@
+"""E14 — topology-zoo strategy sweep under churn (Table; tentpole
+experiment of the generator library).
+
+Question: which placement strategy wins *where*? Every ranking before
+this one was measured on a single hand-built continuum; E14 re-asks the
+E2 question across the whole topology zoo (clique, chain, ring, grid,
+fat-tree, multi-region) crossed with duty-cycle churn intensities
+(periphery nodes sleeping and waking on seeded schedules). Each cell
+races all eleven strategies on the identical seeded workload and
+failure schedule, and re-locates the E1 crossover point — the
+bandwidth scale where shipping the data to a pinned fast remote beats
+computing where it sits — per family and churn level.
+
+Expected shape: on dense, cheap-to-cross graphs (clique, fat-tree) the
+lookahead schedulers (HEFT, greedy-EFT) win and their margin over
+naive baselines is small; on high-diameter families (chain, ring) and
+under churn the spread widens sharply — edge-only collapses when its
+tier keeps blinking, data-gravity stays competitive because it never
+crosses the dark periphery more than it must. Churn *lowers* the
+crossover bandwidth scale: when the local edge keeps sleeping, offload
+to an always-on core starts paying sooner than Gilder's clean-network
+arithmetic predicts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bench.e02_strategies import place_externals
+from repro.bench.harness import ExperimentResult
+from repro.continuum import Tier, churn_preset, compile_duty_cycles, zoo_topology
+from repro.core import ContinuumScheduler, FixedSiteStrategy
+from repro.core.strategies import MultiObjectiveStrategy, strategy_catalog
+from repro.datafabric import Dataset
+from repro.workflow import TaskSpec, WorkflowDAG
+from repro.workloads import layered_random_dag
+
+# Scenario seed offset (the CLI --seed shifts the whole scenario).
+BASE_SEED = 15
+CHURN_HORIZON_S = 4000.0
+# E1's probe workload: enough work that a fast remote can win, enough
+# data that a slow network makes it lose.
+PROBE_WORK = 80.0
+PROBE_DATA_BYTES = 1e9
+
+
+def _families(quick: bool) -> list[tuple[str, dict]]:
+    families = [
+        ("clique", {}),
+        ("chain", {}),
+        ("ring", {}),
+        ("grid", {"rows": 4, "cols": 4}),
+        ("fat-tree", {"k": 4}),
+        ("multi-region", {"n_regions": 3}),
+    ]
+    # quick mode keeps the richest family (tiered, geo, priced WAN)
+    return families[-1:] if quick else families
+
+
+def _intensities(quick: bool) -> list[str]:
+    return ["none", "high"] if quick else ["none", "medium", "high"]
+
+
+def _strategies() -> list:
+    """Fresh instances per call: round-robin and the UCB learner carry
+    per-run state, so shards must never share them."""
+    return strategy_catalog(include_adaptive=True) + [MultiObjectiveStrategy()]
+
+
+def _churn(topology, intensity: str, seed: int):
+    params = churn_preset(intensity, seed=seed, horizon_s=CHURN_HORIZON_S)
+    if params is None:
+        return None
+    schedule = compile_duty_cycles(topology, params)
+    return None if schedule.empty else schedule
+
+
+def _probe_times(family: str, params: dict, intensity: str, seed: int,
+                 scale: float) -> tuple[float, float]:
+    """(local, remote) makespans of the single-task E1 probe on this
+    family at ``bandwidth_scale=scale``: data born at the first edge
+    site, pinned either there or at the fastest central site. Churn
+    applies to both runs — a sleeping edge delays the local probe,
+    which is exactly the effect being measured."""
+    topo = zoo_topology(family, seed=seed, bandwidth_scale=scale, **params)
+    edge = topo.sites_by_tier(Tier.EDGE)[0].name
+    central = max((s for s in topo.sites if s.tier.is_central),
+                  key=lambda s: (s.speed, s.name)).name
+    failures = _churn(topo, intensity, seed)
+    scheduler = ContinuumScheduler(topo, seed=seed)
+    times = []
+    for site in (edge, central):
+        dag = WorkflowDAG("e14-probe")
+        dag.add_task(TaskSpec("probe", work=PROBE_WORK, inputs=("blob",)))
+        run = scheduler.run(
+            dag, FixedSiteStrategy(site),
+            external_inputs=[(Dataset("blob", PROBE_DATA_BYTES), edge)],
+            failures=failures, task_retries=200,
+        )
+        times.append(run.makespan)
+    return times[0], times[1]
+
+
+def _crossover_scale(family: str, params: dict, intensity: str, seed: int,
+                     quick: bool) -> float:
+    """First bandwidth scale where the pinned-remote probe beats the
+    pinned-local one (NaN when locality wins across the whole sweep)."""
+    n_points = 5 if quick else 9
+    for scale in np.logspace(math.log10(0.05), math.log10(20.0), n_points):
+        local, remote = _probe_times(family, params, intensity, seed,
+                                     float(scale))
+        if remote < local:
+            return float(scale)
+    return float("nan")
+
+
+def list_shards(quick: bool = False, seed: int = 0) -> list[tuple]:
+    """One shard per (family, churn intensity) cell: eleven strategy
+    races plus the crossover probe sweep. Keys are picklable and
+    deterministic; ``merge_shards`` reassembles rows in exactly the
+    order the sequential loop would emit them."""
+    return [(family, intensity)
+            for family, _params in _families(quick)
+            for intensity in _intensities(quick)]
+
+
+def run_shard(shard: tuple, quick: bool = False, seed: int = 0) -> dict:
+    """Run one (family, intensity) cell; picklable partial for merge."""
+    family, intensity = shard
+    seed += BASE_SEED
+    params = dict(_families(quick))[family]
+    topo = zoo_topology(family, seed=seed, **params)
+    n_tasks = 12 if quick else 24
+    dag, externals = layered_random_dag(
+        n_tasks, n_levels=5, work_range=(10.0, 60.0), seed=seed,
+        name=f"e14-{family}",
+    )
+    placed = place_externals(topo, externals)
+    failures = _churn(topo, intensity, seed)
+    scheduler = ContinuumScheduler(topo, seed=seed)
+    times = []
+    for strategy in _strategies():
+        run = scheduler.run(dag, strategy, external_inputs=placed,
+                            failures=failures, task_retries=200)
+        times.append((strategy.name, run.makespan))
+    ranking = sorted(times, key=lambda kv: (kv[1], kv[0]))
+    return {
+        "shard": shard,
+        "family": family,
+        "intensity": intensity,
+        "n_sites": len(topo),
+        "ranking": ranking,
+        "crossover_x": _crossover_scale(family, params, intensity, seed,
+                                        quick),
+    }
+
+
+def merge_shards(partials: list[dict], quick: bool = False,
+                 seed: int = 0) -> ExperimentResult:
+    """Deterministic merge: one row per (family, intensity) cell in
+    ``list_shards`` order, ranking summarized as a podium."""
+    result = ExperimentResult(
+        "E14", "Strategy rankings across the topology zoo under churn"
+    )
+    by_key = {tuple(p["shard"]): p for p in partials}
+    lead_changes = 0
+    for shard in list_shards(quick=quick, seed=seed):
+        part = by_key[tuple(shard)]
+        ranking = part["ranking"]
+        best_name, best_s = ranking[0]
+        worst_name, worst_s = ranking[-1]
+        calm = by_key[(part["family"], "none")]
+        if part["intensity"] != "none" and \
+                calm["ranking"][0][0] != best_name:
+            lead_changes += 1
+        result.row(
+            family=part["family"],
+            churn=part["intensity"],
+            sites=part["n_sites"],
+            best=best_name,
+            best_s=best_s,
+            podium=" > ".join(name for name, _t in ranking[:3]),
+            worst=worst_name,
+            spread=worst_s / best_s,
+            crossover_x=part["crossover_x"],
+        )
+    n_strategies = len(_strategies())
+    result.note(
+        f"{n_strategies} strategies raced per cell on the identical "
+        f"seeded workload and churn schedule; rank by makespan "
+        f"(ties by name), spread = worst/best"
+    )
+    result.note(
+        "crossover_x: first bandwidth scale in [0.05, 20] where the "
+        "pinned-remote E1 probe (work=80, 1 GB born at the first edge "
+        "site) beats pinned-local; '-' = locality wins across the sweep"
+    )
+    result.note(
+        f"churn changed the winning strategy in {lead_changes} of "
+        f"{len(result.rows)} cells vs the same family uncontested"
+    )
+    return result
+
+
+def run_experiment(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    # The sequential path runs the very same shard/merge code the
+    # parallel runner fans out, so both produce byte-identical tables.
+    partials = [run_shard(s, quick=quick, seed=seed)
+                for s in list_shards(quick=quick, seed=seed)]
+    return merge_shards(partials, quick=quick, seed=seed)

@@ -1,8 +1,8 @@
 """Parallel sharded experiment runner with a content-addressed result cache.
 
-The E1–E13 suite is embarrassingly parallel twice over: experiments are
-independent of each other, and shootout-style experiments (E13) decompose
-further into independent (intensity, policy) scheduler runs. This module
+The E1–E14 suite is embarrassingly parallel twice over: experiments are
+independent of each other, and shootout-style experiments (E13, E14)
+decompose further into independent scheduler runs. This module
 fans both levels across a :class:`~concurrent.futures.ProcessPoolExecutor`
 and merges partial results in deterministic experiment/shard order, so
 the rendered tables are byte-identical to a sequential run.

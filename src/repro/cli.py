@@ -26,11 +26,13 @@ import json
 import sys
 
 from repro.continuum import (
+    TOPOLOGY_FAMILIES,
     hierarchical_continuum,
     load_topology,
     save_topology,
     science_grid,
     smart_city,
+    zoo_topology,
 )
 from repro.core import ContinuumScheduler, slo_report
 from repro.core.strategies import strategy_catalog
@@ -65,6 +67,11 @@ PRESET_TOPOLOGIES = {
     "smart-city": smart_city,
     "hierarchical": hierarchical_continuum,
 }
+# every zoo family, addressable as e.g. ``zoo:fat-tree`` (default params)
+PRESET_TOPOLOGIES.update({
+    f"zoo:{family}": (lambda family=family: zoo_topology(family))
+    for family in sorted(TOPOLOGY_FAMILIES)
+})
 
 PRESET_WORKLOADS = {
     "beamline": lambda seed: beamline_pipeline(6),
@@ -330,7 +337,7 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser(
         "bench",
-        help="run the E1-E13 experiment suite (supports --jobs N for "
+        help="run the E1-E14 experiment suite (supports --jobs N for "
              "parallel sharding and a content-addressed result cache); "
              "all following arguments are forwarded to repro.bench",
     )

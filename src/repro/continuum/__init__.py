@@ -11,7 +11,9 @@ exactly those pieces:
   energy & pricing models, geographic position, accelerator specializations),
 - :class:`Link` — a network edge (propagation latency, bandwidth, $/byte),
 - :class:`Topology` — a routed graph of sites and links,
-- builders — common shapes (hierarchical continuum, star, presets).
+- builders — common shapes (hierarchical continuum, star, presets),
+- generators — the parameterized topology zoo (clique, chain, ring,
+  grid, fat-tree, multi-region) and the duty-cycle churn layer.
 """
 
 from repro.continuum.tiers import Tier
@@ -35,6 +37,21 @@ from repro.continuum.builders import (
     smart_city,
     star_topology,
 )
+from repro.continuum.generators import (
+    CHURN_INTENSITIES,
+    TOPOLOGY_FAMILIES,
+    ChainParams,
+    CliqueParams,
+    DutyCycleParams,
+    FatTreeParams,
+    GridParams,
+    MultiRegionParams,
+    RingParams,
+    churn_preset,
+    compile_duty_cycles,
+    scaled_params,
+    zoo_topology,
+)
 
 __all__ = [
     "Tier",
@@ -55,4 +72,17 @@ __all__ = [
     "save_topology",
     "topology_from_dict",
     "topology_to_dict",
+    "CHURN_INTENSITIES",
+    "TOPOLOGY_FAMILIES",
+    "ChainParams",
+    "CliqueParams",
+    "DutyCycleParams",
+    "FatTreeParams",
+    "GridParams",
+    "MultiRegionParams",
+    "RingParams",
+    "churn_preset",
+    "compile_duty_cycles",
+    "scaled_params",
+    "zoo_topology",
 ]

@@ -196,9 +196,12 @@ class Topology:
         scalar and batch APIs always agree. Rows are invalidated
         together with the path cache on any mutation. The returned
         arrays are read-only views into the all-pairs matrices.
-        Unreachable destinations appear as ``inf`` on all three axes
-        rather than raising, so vectorized rankings naturally never
-        select them.
+        Unreachable destinations appear as ``inf`` latency, **``0.0``
+        bandwidth**, and ``inf`` dollars rather than raising, so every
+        vectorized ranking naturally rejects them: time- and cost-
+        minimizers see infinity, and bandwidth-greedy maximizers see
+        zero (an ``inf`` there would make an unreachable site the most
+        attractive destination on the continuum).
         """
         index = self.site_index
         try:
@@ -231,7 +234,7 @@ class Topology:
                         hops = sssp.get(dst)
                         if hops is None:  # unreachable: rank as infinitely far
                             lat[row, col] = math.inf
-                            bw[row, col] = math.inf
+                            bw[row, col] = 0.0   # no route moves no bytes
                             usd[row, col] = math.inf
                             continue
                         info = self._compose(src, dst, hops)

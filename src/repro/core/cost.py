@@ -20,6 +20,23 @@ from repro.errors import DataFabricError, SchedulingError
 from repro.workflow.task import TaskSpec
 
 
+def _stage_times(lat: np.ndarray, bw: np.ndarray, cols: np.ndarray,
+                 size: float) -> np.ndarray:
+    """Unloaded staging times ``lat + size / bw`` over candidate columns.
+
+    Unreachable destinations carry ``bw == 0`` in the path matrices
+    (see :meth:`Topology.path_rows`); they must estimate as ``inf`` —
+    including for zero-byte datasets, where a bare ``0/0`` would poison
+    the row with NaN and win every ``argmin``.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        times = lat[cols] + size / bw[cols]
+    unreachable = bw[cols] == 0.0
+    if unreachable.any():
+        times[unreachable] = np.inf
+    return times
+
+
 @dataclass(frozen=True)
 class TaskEstimate:
     """Planner estimate for one (task, site) pairing."""
@@ -206,21 +223,21 @@ class CostModel:
                 t_best, u_best = hit[3], hit[4]
                 for src in sources[len(old):]:
                     lat, bw, usd = self.topology.path_rows(src)
-                    t_new = lat[cols] + size / bw[cols]
+                    t_new = _stage_times(lat, bw, cols, size)
                     better = t_new < t_best
                     t_best = np.where(better, t_new, t_best)
                     u_best = np.where(better, usd[cols], u_best)
         if t_best is None:
             if len(sources) == 1:
                 lat, bw, usd = self.topology.path_rows(sources[0])
-                t_best = lat[cols] + size / bw[cols]
+                t_best = _stage_times(lat, bw, cols, size)
                 u_best = usd[cols]
             else:
                 times = np.empty((len(sources), n))
                 usds = np.empty((len(sources), n))
                 for i, src in enumerate(sources):
                     lat, bw, usd = self.topology.path_rows(src)
-                    times[i] = lat[cols] + size / bw[cols]
+                    times[i] = _stage_times(lat, bw, cols, size)
                     usds[i] = usd[cols]
                 best = times.argmin(axis=0)
                 picked = np.arange(n)
@@ -236,10 +253,15 @@ class CostModel:
             # pre-masked contribution arrays: adding 0.0 at resident
             # sites is a bit-exact no-op, so estimate_batch can
             # accumulate with plain ufuncs instead of fancy indexing
+            with np.errstate(invalid="ignore"):
+                usd_term = u_best * (size / 1e9)
+            # unreachable candidates carry inf $/GB; inf * 0 bytes is
+            # NaN, which must rank as unreachable, not free
+            usd_term = np.where(np.isfinite(u_best), usd_term, np.inf)
             arrays = (
                 np.where(need, t_best, 0.0),
                 np.where(need, size, 0.0),
-                np.where(need, u_best * (size / 1e9), 0.0),
+                np.where(need, usd_term, 0.0),
             )
         self._stage_cache[key] = (epoch, dsver, sources, t_best, u_best, arrays)
         return arrays

@@ -103,14 +103,20 @@ def poisson_outages(
     Each chosen site fails at exponential intervals with exponential
     repair times — the textbook availability model. Overlapping outages
     of one site are merged by construction (next failure is drawn after
-    the previous repair).
+    the previous repair). Duplicate names in ``sites`` are collapsed to
+    their first occurrence — a repeated name must not run a second,
+    independent failure process whose outages overlap the first
+    (first-seen order is kept so the RNG draw sequence, and therefore
+    every schedule generated for the de-duplicated prefix, is unchanged).
     """
     check_positive("rate_per_site_per_s", rate_per_site_per_s)
     check_positive("horizon_s", horizon_s)
     check_positive("mean_duration_s", mean_duration_s)
     rng = (rngs or RngRegistry(0)).stream("outages")
     schedule = OutageSchedule()
-    for name in (sites if sites is not None else topology.site_names):
+    names = list(sites) if sites is not None else topology.site_names
+    names = list(dict.fromkeys(names))
+    for name in names:
         topology.site(name)
         t = 0.0
         while True:

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 
 from repro.core.placement import ScheduleResult
 from repro.errors import ConfigurationError
@@ -34,14 +35,29 @@ def result_rows(result: ScheduleResult) -> list[dict]:
 
 
 def save_rows(path: str, rows: list[dict], meta: dict | None = None) -> None:
-    """Write rows (+ metadata) as a JSON document, atomically."""
+    """Write rows (+ metadata) as a JSON document, atomically and durably.
+
+    Same ``mkstemp`` + flush + ``os.fsync`` + :func:`os.replace`
+    discipline as rendered benchmark tables (:func:`save_rendered`): the
+    temp name is unique, so parallel shard workers writing sibling
+    traces can never collide on a shared ``path + ".tmp"``, and the
+    fsync-before-replace ordering means a crash leaves either the old
+    complete file or the new complete file — never a torn one.
+    """
     payload = {"meta": meta or {}, "rows": rows}
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".trace.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_rows(path: str) -> tuple[list[dict], dict]:

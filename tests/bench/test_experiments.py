@@ -14,8 +14,8 @@ from repro.datafabric import Dataset
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert sorted(EXPERIMENTS) == [
-            "E1", "E10", "E11", "E12", "E13", "E2", "E3", "E4", "E5", "E6",
-            "E7", "E8", "E9"
+            "E1", "E10", "E11", "E12", "E13", "E14", "E2", "E3", "E4", "E5",
+            "E6", "E7", "E8", "E9"
         ]
 
 
@@ -79,6 +79,34 @@ class TestHeadlineShapes:
         thin = [r for r in result.rows if r["bandwidth_Mbps"] == 4.0]
         assert all(r["speedup"] == 1.0 for r in thin)
 
+    def test_e14_covers_every_family_and_intensity(self):
+        from repro.bench.e14_topology_zoo import _families, _intensities
+
+        result = EXPERIMENTS["E14"](quick=True)
+        cells = {(r["family"], r["churn"]) for r in result.rows}
+        expected = {(fam, i) for fam, _p in _families(True)
+                    for i in _intensities(True)}
+        assert cells == expected
+
+    def test_e14_churn_widens_spread_or_lowers_crossover(self):
+        """Churn must bite somewhere: for each family the high-churn
+        cell shows a worse worst/best spread or an earlier offload
+        crossover than the calm cell."""
+        import math
+
+        result = EXPERIMENTS["E14"](quick=True)
+        by_cell = {(r["family"], r["churn"]): r for r in result.rows}
+        for family, churn in by_cell:
+            if churn == "none":
+                continue
+            calm, stormy = by_cell[(family, "none")], by_cell[(family, churn)]
+            crossed_earlier = (
+                not math.isnan(stormy["crossover_x"])
+                and (math.isnan(calm["crossover_x"])
+                     or stormy["crossover_x"] <= calm["crossover_x"])
+            )
+            assert stormy["spread"] > calm["spread"] or crossed_earlier
+
     def test_e13_no_policy_loses_work(self):
         result = EXPERIMENTS["E13"](quick=True)
         assert all(r["lost"] == 0 for r in result.rows)
@@ -98,7 +126,8 @@ class TestHeadlineShapes:
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("exp_id", ["E1", "E2", "E6", "E7", "E10", "E13"])
+    @pytest.mark.parametrize("exp_id", ["E1", "E2", "E6", "E7", "E10", "E13",
+                                        "E14"])
     def test_same_seed_same_rows(self, exp_id):
         a = EXPERIMENTS[exp_id](quick=True, seed=3)
         b = EXPERIMENTS[exp_id](quick=True, seed=3)

@@ -151,6 +151,26 @@ class TestShardProtocol:
         assert e13.merge_shards(shuffled, quick=True, seed=0).rows == \
             e13.merge_shards(partials, quick=True, seed=0).rows
 
+    def test_e14_shards_merge_equals_run_experiment(self):
+        from repro.bench import e14_topology_zoo as e14
+
+        shards = e14.list_shards(quick=True, seed=0)
+        assert len(shards) > 1
+        partials = [e14.run_shard(s, quick=True, seed=0) for s in shards]
+        merged = e14.merge_shards(partials, quick=True, seed=0)
+        direct = e14.run_experiment(quick=True, seed=0)
+        assert merged.rows == direct.rows
+        assert merged.notes == direct.notes
+
+    def test_e14_merge_is_order_insensitive(self):
+        from repro.bench import e14_topology_zoo as e14
+
+        shards = e14.list_shards(quick=True, seed=0)
+        partials = [e14.run_shard(s, quick=True, seed=0) for s in shards]
+        shuffled = list(reversed(partials))
+        assert e14.merge_shards(shuffled, quick=True, seed=0).rows == \
+            e14.merge_shards(partials, quick=True, seed=0).rows
+
 
 class TestRunSuiteParallel:
     def test_parallel_bit_identical_to_sequential(self, tmp_path):

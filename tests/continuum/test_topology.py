@@ -150,3 +150,72 @@ class TestValidate:
     def test_describe(self):
         text = simple_triangle().describe()
         assert "3 sites" in text and "3 links" in text
+
+
+class TestPathRowsUnreachable:
+    """Regression: unreachable destinations must never look attractive.
+
+    ``path_rows`` used to mark unreachable destinations with ``inf`` on
+    *all three* axes — infinite latency and dollars correctly repel
+    minimizers, but infinite *bandwidth* makes any bandwidth-greedy
+    ranking prefer a site no byte can ever reach. The bandwidth axis
+    must read ``0.0`` there (latency/usd stay ``inf``).
+    """
+
+    def disconnected(self):
+        # two islands: {a, b} linked, {c, d} linked, no bridge
+        topo = Topology("islands")
+        for name in ("a", "b", "c", "d"):
+            topo.add_site(Site(name, Tier.FOG))
+        topo.add_link("a", "b", Link(0.010, 1e9))
+        topo.add_link("c", "d", Link(0.010, 5e9))
+        return topo
+
+    def test_unreachable_bandwidth_is_zero(self):
+        topo = self.disconnected()
+        lat, bw, usd = topo.path_rows("a")
+        idx = topo.site_index
+        for dst in ("c", "d"):
+            col = idx[dst]
+            assert lat[col] == math.inf
+            assert bw[col] == 0.0          # the fix: 0, not inf
+            assert usd[col] == math.inf
+
+    def test_bandwidth_greedy_ranking_never_picks_unreachable(self):
+        topo = self.disconnected()
+        _, bw, _ = topo.path_rows("a")
+        idx = topo.site_index
+        # highest-bandwidth destination out of "a" must be on a's island
+        best = max(
+            (n for n in topo.site_names if n != "a"), key=lambda n: bw[idx[n]]
+        )
+        assert best == "b"
+        assert bw[idx["b"]] == 1e9
+
+    def test_reachable_rows_unchanged(self):
+        topo = self.disconnected()
+        lat, bw, usd = topo.path_rows("c")
+        idx = topo.site_index
+        assert bw[idx["d"]] == 5e9
+        assert lat[idx["d"]] == pytest.approx(0.010)
+        assert bw[idx["c"]] == math.inf    # local path keeps inf bandwidth
+
+    def test_batch_estimate_rejects_unreachable(self):
+        # a dataset born on one island must estimate as unreachable-inf
+        # (not NaN, not free) at the other island, even when zero bytes
+        from repro.core.cost import CostModel
+        from repro.datafabric import Dataset, ReplicaCatalog
+        from repro.workflow import TaskSpec
+
+        for size in (1e9, 0.0):
+            topo = self.disconnected()
+            catalog = ReplicaCatalog()
+            catalog.register(Dataset("blob", size))
+            catalog.add_replica("blob", "a")
+            model = CostModel(topo, catalog)
+            task = TaskSpec("t", work=1.0, inputs=("blob",))
+            batch = model.estimate_batch(task, topo.sites)
+            idx = {s.name: i for i, s in enumerate(topo.sites)}
+            assert batch.stage_time_s[idx["b"]] < math.inf
+            for dst in ("c", "d"):
+                assert batch.stage_time_s[idx[dst]] == math.inf

@@ -91,3 +91,35 @@ class TestPoissonOutages:
         with pytest.raises(TopologyError):
             poisson_outages(topo, rate_per_site_per_s=0.1, horizon_s=10,
                             mean_duration_s=1, sites=["mars"])
+
+
+class TestDuplicateSitesDeduplicated:
+    """Regression: duplicate names in ``sites`` silently ran a second,
+    independent Poisson process for the same site, generating
+    overlapping outages — violating the docstring's "merged by
+    construction" invariant. Duplicates must collapse to the first
+    occurrence, leaving RNG draws for the de-duplicated prefix intact."""
+
+    def test_duplicates_keep_no_overlap_invariant(self):
+        topo = science_grid()
+        sched = poisson_outages(
+            topo, rate_per_site_per_s=0.05, horizon_s=500,
+            mean_duration_s=50, sites=["cloud", "cloud", "cloud"],
+            rngs=RngRegistry(0),
+        )
+        outages = sched.outages_for("cloud")
+        assert outages  # dense enough that duplicates would overlap
+        for first, second in zip(outages, outages[1:]):
+            assert second.start_s >= first.end_s
+
+    def test_first_seen_order_preserves_rng_draws(self):
+        topo = science_grid()
+        kwargs = dict(rate_per_site_per_s=0.05, horizon_s=500,
+                      mean_duration_s=50)
+        with_dups = poisson_outages(
+            topo, sites=["cloud", "hpc-center", "cloud"],
+            rngs=RngRegistry(3), **kwargs)
+        deduped = poisson_outages(
+            topo, sites=["cloud", "hpc-center"],
+            rngs=RngRegistry(3), **kwargs)
+        assert with_dups.site_outages == deduped.site_outages

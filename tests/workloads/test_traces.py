@@ -54,3 +54,71 @@ class TestPersistence:
         path.write_text("[1, 2, 3]")
         with pytest.raises(ConfigurationError):
             load_rows(str(path))
+
+
+class TestAtomicDurableSave:
+    """Regression: ``save_rows`` used to write to a predictable
+    ``path + ".tmp"`` with no fsync — parallel E14 shard workers could
+    collide on the temp name, and a crash between write and replace
+    could publish a torn file. Pin the mkstemp + flush + fsync +
+    ``os.replace`` discipline (same as ``save_rendered``)."""
+
+    def test_save_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        import os
+
+        synced = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            assert synced, "os.replace ran before any fsync"
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = str(tmp_path / "trace.json")
+        save_rows(path, [{"task": "t"}], meta={"m": 1})
+        assert load_rows(path)[0] == [{"task": "t"}]
+
+    def test_temp_name_is_unique_not_path_dot_tmp(self, tmp_path,
+                                                  monkeypatch):
+        import os
+
+        tmp_names = []
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            tmp_names.append(src)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy_replace)
+        path = str(tmp_path / "trace.json")
+        save_rows(path, [{"task": "a"}])
+        save_rows(path, [{"task": "b"}])
+        assert len(tmp_names) == 2
+        # the fixed predictable name was the collision: two parallel
+        # writers of the same path must get distinct temp files
+        assert path + ".tmp" not in tmp_names
+        assert tmp_names[0] != tmp_names[1]
+
+    def test_failed_replace_keeps_old_trace_and_no_litter(
+            self, tmp_path, monkeypatch):
+        import os
+
+        path = str(tmp_path / "trace.json")
+        save_rows(path, [{"task": "old"}])
+
+        def boom(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            save_rows(path, [{"task": "new"}])
+        monkeypatch.undo()
+        assert load_rows(path)[0] == [{"task": "old"}]
+        litter = [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+        assert litter == []
