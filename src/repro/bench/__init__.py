@@ -1,4 +1,4 @@
-"""Experiment harness: the evaluation suite (E1..E14) of DESIGN.md.
+"""Experiment harness: the evaluation suite (E1..E14, E16) of DESIGN.md.
 
 Each experiment module exposes ``run_experiment(quick=False, seed=0)``
 returning an :class:`ExperimentResult` whose rows are the table/series
@@ -22,6 +22,7 @@ from repro.bench import (
     e12_offered_load,
     e13_resilience_policies,
     e14_topology_zoo,
+    e16_control_plane,
 )
 
 EXPERIMENTS = {
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "E12": e12_offered_load.run_experiment,
     "E13": e13_resilience_policies.run_experiment,
     "E14": e14_topology_zoo.run_experiment,
+    "E16": e16_control_plane.run_experiment,
 }
 
 __all__ = ["ExperimentResult", "render", "save_result", "EXPERIMENTS"]

@@ -36,7 +36,7 @@ from repro.continuum import (
 )
 from repro.core import ContinuumScheduler, slo_report
 from repro.core.strategies import strategy_catalog
-from repro.errors import ContinuumError
+from repro.errors import ConfigurationError, ContinuumError
 from repro.faults import CAMPAIGN_INTENSITIES, ChaosCampaign
 from repro.resilience import ResiliencePolicy
 from repro.observe import (
@@ -211,14 +211,23 @@ RECOVERY_ACTIONS = (
 
 
 def _cmd_chaos(args) -> int:
+    # validate the campaign/policy names first so a typo dies with a
+    # one-line error before any simulation state is built
+    campaign = ChaosCampaign.preset(args.intensity, seed=args.seed)
+    policy_builder = CHAOS_POLICIES.get(args.policy)
+    if policy_builder is None:
+        raise ConfigurationError(
+            f"unknown recovery policy {args.policy!r}; "
+            f"known: {sorted(CHAOS_POLICIES)}"
+        )
     topo = _get_topology(args.topology)
     dag, externals = _get_workload(args)
     peripheral = [s.name for s in topo.sites if s.tier.is_peripheral]
     sources = peripheral or topo.site_names
     placed = [(d, sources[i % len(sources)]) for i, d in enumerate(externals)]
     strategy = _get_strategy(args.strategy)
-    plan = ChaosCampaign.preset(args.intensity, seed=args.seed).build(topo)
-    policy = CHAOS_POLICIES[args.policy](args.seed)
+    plan = campaign.build(topo)
+    policy = policy_builder(args.seed)
     tracer = Tracer()
     sched = ContinuumScheduler(
         topo, seed=args.seed,
@@ -326,10 +335,15 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--dag", metavar="FILE", default=None,
                          help="saved workload JSON (overrides --workload)")
     p_chaos.add_argument("--strategy", default="greedy-eft")
-    p_chaos.add_argument("--intensity", choices=CAMPAIGN_INTENSITIES,
-                         default="medium")
-    p_chaos.add_argument("--policy", choices=sorted(CHAOS_POLICIES),
-                         default="full")
+    # free-form on purpose: the library validates and rejects unknown
+    # names with a one-line error naming the known values, which also
+    # covers programmatic callers that bypass argparse
+    p_chaos.add_argument("--intensity", default="medium", metavar="NAME",
+                         help=f"campaign intensity preset "
+                              f"(known: {', '.join(CAMPAIGN_INTENSITIES)})")
+    p_chaos.add_argument("--policy", default="full", metavar="NAME",
+                         help=f"recovery policy "
+                              f"(known: {', '.join(sorted(CHAOS_POLICIES))})")
     p_chaos.add_argument("--seed", type=int, default=0)
     p_chaos.add_argument("--out", metavar="FILE", default=None,
                          help="also export a Chrome trace-event JSON")

@@ -1,0 +1,500 @@
+"""The simulated control-plane cluster: N Raft nodes, one message fabric.
+
+The cluster is *clock-passive*: it never schedules anything on the
+discrete-event kernel. Callers (the scheduler, a session, tests) push
+simulated time forward with :meth:`ControlPlane.advance`, and the plane
+drains its internal ``(deliver_at, seq)``-ordered queue plus node
+timers up to that instant. ``advance`` is monotone and idempotent for
+``now`` at or below the internal clock, so any layer may call it freely
+without perturbing another layer's view — the same discipline the
+resilience breakers use.
+
+Partitions split the *control* sites into islands; data-plane traffic
+and client→control messages are unaffected (a client can always reach
+its nearest control site — it just might learn stale things from it).
+A minority island's leader keeps accepting proposals but can never
+reach quorum, so no write is ever acknowledged from a minority: the
+split-brain safety the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.controlplane.log import Command
+from repro.controlplane.node import RaftNode, Role
+from repro.errors import ControlPlaneError
+from repro.faults.partitions import PartitionWindow
+from repro.resilience.retry import RetryBudget
+from repro.utils.rng import RngRegistry
+from repro.utils.validation import check_non_negative, check_positive
+
+READ_MODES = ("quorum", "stale", "lease")
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Replication knobs for one run (all seconds, simulated).
+
+    ``replication_lag_s`` is the one-way message delay between control
+    sites — the single most important knob: stale reads diverge by
+    roughly the lag × mutation rate, quorum reads pay ~4× lag.
+    """
+
+    n_sites: int = 3
+    replication_lag_s: float = 0.05
+    heartbeat_interval_s: float = 0.5
+    election_timeout_s: tuple[float, float] = (3.0, 6.0)
+    lease_duration_s: float = 2.0
+    snapshot_threshold: int = 64
+    read_mode: str = "quorum"
+    local_read_rtt_s: float = 0.002
+    max_staleness_s: float = 5.0
+    attached_node: int = 0
+    warm_start: bool = True
+    read_retry_interval_s: float = 1.0
+    max_read_retries: int = 12
+    catchup_max_fast: int = 64
+    catchup_cooldown_s: float = 5.0
+    rpc_failure_threshold: int = 3
+    rpc_reset_timeout_s: float = 10.0
+
+    def __post_init__(self):
+        if self.n_sites < 1:
+            raise ControlPlaneError(
+                f"n_sites must be >= 1, got {self.n_sites}")
+        if self.read_mode not in READ_MODES:
+            raise ControlPlaneError(
+                f"unknown read mode {self.read_mode!r}; known: {READ_MODES}")
+        check_non_negative("replication_lag_s", self.replication_lag_s)
+        check_positive("heartbeat_interval_s", self.heartbeat_interval_s)
+        lo, hi = self.election_timeout_s
+        if not (0 < lo < hi):
+            raise ControlPlaneError(
+                f"election_timeout_s must be an increasing positive pair, "
+                f"got {self.election_timeout_s}")
+        if lo <= 2 * self.heartbeat_interval_s:
+            raise ControlPlaneError(
+                "election timeout must exceed two heartbeat intervals or "
+                "healthy leaders get deposed")
+        check_positive("lease_duration_s", self.lease_duration_s)
+        if self.snapshot_threshold < 1:
+            raise ControlPlaneError(
+                f"snapshot_threshold must be >= 1, got "
+                f"{self.snapshot_threshold}")
+        check_non_negative("local_read_rtt_s", self.local_read_rtt_s)
+        check_positive("max_staleness_s", self.max_staleness_s)
+        if not 0 <= self.attached_node < self.n_sites:
+            raise ControlPlaneError(
+                f"attached_node {self.attached_node} outside cluster of "
+                f"{self.n_sites}")
+        check_positive("read_retry_interval_s", self.read_retry_interval_s)
+
+    @classmethod
+    def for_lag(cls, replication_lag_s: float, *, n_sites: int = 5,
+                read_mode: str = "quorum", **overrides) -> "ControlPlaneConfig":
+        """Derive mutually consistent timers from the lag: heartbeats a
+        few RTTs apart, election timeouts several heartbeats beyond
+        that, leases strictly inside the election minimum."""
+        check_non_negative("replication_lag_s", replication_lag_s)
+        hb = max(2.5 * replication_lag_s, 0.2)
+        defaults = dict(
+            n_sites=n_sites,
+            replication_lag_s=replication_lag_s,
+            heartbeat_interval_s=hb,
+            election_timeout_s=(6.0 * hb, 12.0 * hb),
+            lease_duration_s=4.0 * hb,
+            read_mode=read_mode,
+            max_staleness_s=max(10.0 * replication_lag_s, 8.0 * hb),
+            read_retry_interval_s=2.0 * hb,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class WriteTicket:
+    """Tracks one submitted command to its ack (or supersession)."""
+
+    command: Command
+    submitted_at: float
+    index: int | None = None
+    term: int | None = None
+    leader: int | None = None
+    acked_at: float | None = None
+    failed: bool = False
+
+    @property
+    def acked(self) -> bool:
+        return self.acked_at is not None
+
+    @property
+    def commit_latency_s(self) -> float | None:
+        if self.acked_at is None:
+            return None
+        return self.acked_at - self.submitted_at
+
+
+@dataclass
+class _ClientRequest:
+    ticket: WriteTicket
+
+
+@dataclass
+class PartitionEvent:
+    """What actually happened when a window opened (for reports)."""
+
+    window: PartitionWindow
+    started_at: float
+    island: tuple[int, ...] = ()
+    healed_at: float | None = None
+
+
+class ControlPlane:
+    """N replicated control sites plus the lagged message fabric."""
+
+    def __init__(self, config: ControlPlaneConfig,
+                 rngs: RngRegistry | None = None):
+        self.config = config
+        rngs = rngs or RngRegistry(0)
+        self.catchup_budget = RetryBudget(
+            max_fast_retries=config.catchup_max_fast,
+            cooldown_s=config.catchup_cooldown_s)
+        self.nodes = [
+            RaftNode(
+                i, config.n_sites,
+                election_rng=rngs.stream(f"ctl:election:{i}"),
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                election_timeout_s=config.election_timeout_s,
+                snapshot_threshold=config.snapshot_threshold,
+                catchup_budget=self.catchup_budget,
+            )
+            for i in range(config.n_sites)
+        ]
+        self._time = 0.0
+        self._started = False
+        self._queue: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        self._islands: list[frozenset[int]] | None = None
+        self._outbox: list[WriteTicket] = []
+        self._pending: list[WriteTicket] = []
+        self.partition_events: list[PartitionEvent] = []
+        # counters
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.writes_submitted = 0
+        self.writes_acked = 0
+        self.writes_failed = 0
+        self.commit_latencies: list[float] = []
+        # steady-state start: a long-running federation already has a
+        # leader; elections only matter when it fails. Installed lazily
+        # on the first advance so bootstrap entries (term 0) land below
+        # the initial leader's term-1 barrier entry.
+        self._warm_leader: int | None = None
+        if config.warm_start:
+            self._warm_leader = int(
+                rngs.stream("ctl:boot").integers(config.n_sites))
+
+    def _ensure_warm(self) -> None:
+        if self._warm_leader is None:
+            return
+        leader_id, self._warm_leader = self._warm_leader, None
+        leader = self.nodes[leader_id]
+        leader.term = 1
+        leader.voted_for = leader_id
+        for node in self.nodes:
+            if node.id != leader_id:
+                node.term = 1
+                node.voted_for = leader_id
+                node.leader_hint = leader_id
+        self._send_all(leader_id, leader._become_leader(0.0), 0.0)
+        # the pre-run heartbeat round is assumed acked at t=0, so the
+        # steady-state lease is live from the start
+        leader.ack_time = {p: 0.0 for p in leader.peers}
+
+    # -- time ----------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._time
+
+    def advance(self, now: float) -> None:
+        """Drain messages and timers up to ``now`` in deterministic
+        ``(time, kind, seq-or-node)`` order. No-op for ``now`` at or
+        below the internal clock."""
+        if now < self._time:
+            return
+        self._ensure_warm()
+        if now > 0.0:
+            self._started = True
+        while True:
+            t_msg = self._queue[0][0] if self._queue else None
+            t_timer, timer_node = self._next_timer()
+            # messages win ties so a heartbeat arriving exactly at an
+            # election deadline suppresses the election
+            if t_msg is not None and t_msg <= t_timer:
+                if t_msg > now:
+                    break
+                t, _seq, dst, msg = heapq.heappop(self._queue)
+                self._time = max(self._time, t)
+                self._deliver(dst, msg, t)
+            else:
+                if t_timer > now:
+                    break
+                self._time = max(self._time, t_timer)
+                node = self.nodes[timer_node]
+                self._send_all(timer_node, node.on_timer(t_timer), t_timer)
+                self._settle(t_timer)
+        self._time = max(self._time, now)
+        self._drain_outbox(self._time)
+
+    def _next_timer(self) -> tuple[float, int]:
+        best_t, best_i = float("inf"), -1
+        for node in self.nodes:
+            t = node.next_deadline()
+            if t < best_t:
+                best_t, best_i = t, node.id
+        return best_t, best_i
+
+    # -- fabric --------------------------------------------------------------------
+    def reachable(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        if self._islands is None:
+            return True
+        for island in self._islands:
+            if a in island:
+                return b in island
+        return False
+
+    def _send_all(self, src: int, outgoing, now: float) -> None:
+        for dst, msg in outgoing:
+            self.messages_sent += 1
+            if not self.reachable(src, dst):
+                self.messages_dropped += 1
+                continue
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (now + self.config.replication_lag_s, self._seq, dst, msg))
+
+    def _deliver(self, dst: int, msg, t: float) -> None:
+        if isinstance(msg, _ClientRequest):
+            self._deliver_client(dst, msg.ticket, t)
+            return
+        sender = getattr(msg, "leader", None)
+        if sender is None:
+            sender = getattr(msg, "candidate", None)
+        if sender is None:
+            sender = getattr(msg, "voter", None)
+        if sender is None:
+            sender = getattr(msg, "follower", None)
+        # partition applies at delivery too: packets in flight when the
+        # split lands are lost with it
+        if sender is not None and not self.reachable(int(sender), dst):
+            self.messages_dropped += 1
+            return
+        node = self.nodes[dst]
+        self._send_all(dst, node.on_message(msg, t), t)
+        self._settle(t)
+
+    def _settle(self, t: float) -> None:
+        """Post-event bookkeeping: resolve pending write tickets."""
+        if not self._pending:
+            return
+        still = []
+        for ticket in self._pending:
+            if self._resolve_ticket(ticket, t):
+                continue
+            still.append(ticket)
+        self._pending = still
+
+    def _resolve_ticket(self, ticket: WriteTicket, t: float) -> bool:
+        idx, term = ticket.index, ticket.term
+        for node in self.nodes:
+            if node.commit_index >= idx:
+                committed_term = node.log.term_at(idx)
+                if committed_term is None:
+                    # compacted: committed with *some* term; the entry
+                    # survived iff the proposing leader's state has it
+                    committed_term = term if node.state.applied_index >= idx \
+                        else None
+                if committed_term == term:
+                    ticket.acked_at = t
+                    self.writes_acked += 1
+                    self.commit_latencies.append(t - ticket.submitted_at)
+                    return True
+                if committed_term is not None:
+                    ticket.failed = True
+                    self.writes_failed += 1
+                    return True
+        return False
+
+    # -- clients --------------------------------------------------------------------
+    def submit(self, command: Command, now: float, *,
+               target: int | None = None) -> WriteTicket:
+        """Submit a mutation; returns a ticket that resolves when a
+        quorum commits (acks never come from minority leaders — they
+        cannot advance their commit index)."""
+        self.advance(now)
+        self.writes_submitted += 1
+        ticket = WriteTicket(command, now)
+        leader = target if target is not None else self.leader_id()
+        if leader is None:
+            self._outbox.append(ticket)
+        else:
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (now + self.config.replication_lag_s, self._seq, leader,
+                 _ClientRequest(ticket)))
+        return ticket
+
+    def _deliver_client(self, dst: int, ticket: WriteTicket, t: float) -> None:
+        node = self.nodes[dst]
+        if node.role is Role.LEADER:
+            entry = node.propose(ticket.command, t)
+            ticket.index, ticket.term, ticket.leader = (
+                entry.index, entry.term, dst)
+            self._pending.append(ticket)
+            self._send_all(dst, [(p, node._append_for(p, t))
+                                 for p in node.peers], t)
+            self._settle(t)
+            return
+        hint = node.leader_hint
+        if hint is not None and hint != dst:
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (t + self.config.replication_lag_s, self._seq, hint,
+                 _ClientRequest(ticket)))
+        else:
+            self._outbox.append(ticket)
+
+    def _drain_outbox(self, now: float) -> None:
+        if not self._outbox:
+            return
+        leader = self.leader_id()
+        if leader is None:
+            return
+        box, self._outbox = self._outbox, []
+        for ticket in box:
+            self._seq += 1
+            heapq.heappush(
+                self._queue,
+                (now + self.config.replication_lag_s, self._seq, leader,
+                 _ClientRequest(ticket)))
+
+    # -- cluster views ---------------------------------------------------------------
+    def leader_id(self) -> int | None:
+        """The highest-term leader (clients discover via any node); a
+        deposed minority leader loses this title the moment a majority
+        elects a successor at a higher term."""
+        self._ensure_warm()
+        best = None
+        for node in self.nodes:
+            if node.role is Role.LEADER:
+                if best is None or node.term > self.nodes[best].term:
+                    best = node.id
+        return best
+
+    def node_state(self, node_id: int):
+        return self.nodes[node_id].state
+
+    def quorum_connected(self, node_id: int) -> bool:
+        if self._islands is None:
+            return True
+        quorum = self.config.n_sites // 2 + 1
+        for island in self._islands:
+            if node_id in island:
+                return len(island) >= quorum
+        return False
+
+    def committed_state(self):
+        """The most-applied node's state = the longest committed prefix
+        (unique by log matching); the reference truth for staleness
+        accounting."""
+        best = self.nodes[0]
+        for node in self.nodes[1:]:
+            if node.state.applied_index > best.state.applied_index:
+                best = node
+        return best.state
+
+    def freshest_node(self) -> int:
+        best = self.nodes[0]
+        for node in self.nodes[1:]:
+            if node.last_leader_contact > best.last_leader_contact:
+                best = node
+        return best.id
+
+    @property
+    def elections_started(self) -> int:
+        return sum(n.elections_started for n in self.nodes)
+
+    @property
+    def leader_changes(self) -> int:
+        return sum(len(n.terms_led) for n in self.nodes)
+
+    def fingerprints(self) -> list[tuple]:
+        return [n.state.fingerprint() for n in self.nodes]
+
+    def converged(self) -> bool:
+        """All nodes applied the same prefix up to the max commit."""
+        target = max(n.commit_index for n in self.nodes)
+        return all(n.state.applied_index == target for n in self.nodes) and \
+            len(set(self.fingerprints())) == 1
+
+    # -- bootstrap -------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """True once simulated time has advanced past zero — from then
+        on logs may diverge (elections, partitions) and only replicated
+        writes keep them consistent."""
+        return self._started
+
+    def bootstrap(self, commands: list[Command]) -> None:
+        """Install ``commands`` as a pre-replicated committed prefix on
+        every node — initial dataset registrations and seed replicas
+        that exist before the run starts (no replication cost: the
+        federation converged on them long ago). Illegal once the plane
+        has started: direct multi-log appends would corrupt consensus."""
+        if self._started:
+            raise ControlPlaneError(
+                "bootstrap after the control plane started; submit a "
+                "replicated write instead"
+            )
+        for node in self.nodes:
+            for command in commands:
+                entry = node.log.append(0, command)
+                node.commit_index = entry.index
+            node._apply_committed()
+
+    # -- partitions ------------------------------------------------------------------
+    def begin_partition(self, window: PartitionWindow, now: float) -> PartitionEvent:
+        self.advance(now)
+        if window.style == "leader":
+            leader = self.leader_id()
+            if leader is None:
+                # no leader to isolate: pick the max-term node (it is
+                # the likeliest next winner), deterministically
+                leader = max(self.nodes, key=lambda n: (n.term, -n.id)).id
+            island = frozenset([leader])
+        else:
+            island = frozenset(window.island)
+        rest = frozenset(range(self.config.n_sites)) - island
+        self._islands = [island, rest] if rest else [island]
+        event = PartitionEvent(window, now, tuple(sorted(island)))
+        self.partition_events.append(event)
+        return event
+
+    def end_partition(self, now: float) -> None:
+        self.advance(now)
+        self._islands = None
+        for event in reversed(self.partition_events):
+            if event.healed_at is None:
+                event.healed_at = now
+                break
+
+    @property
+    def partitioned(self) -> bool:
+        return self._islands is not None

@@ -1,0 +1,391 @@
+"""One control site's consensus participant (Raft-style).
+
+Nodes are passive state machines: the :class:`ControlPlane` cluster
+owns the clock, the message fabric, and the partition model, and calls
+``on_timer`` / ``on_message`` as simulated time advances. Every handler
+returns the messages it wants sent — ``(dst, msg)`` pairs — so all
+delivery (lag, drops across partitions) is decided in one place and the
+node itself stays deterministic and side-effect free.
+
+Election timeouts are drawn per-node from named RNG streams
+(``ctl:election:<id>``), so who wins each election is a pure function of
+the run seed — the property the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.controlplane.log import NOOP, Command, LogEntry, ReplicatedLog, Snapshot
+from repro.controlplane.state import ControlState
+from repro.resilience.retry import RetryBudget
+
+
+class Role(Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+# -- messages ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate: int
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    voter: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader: int
+    prev_index: int
+    prev_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+    sent_at: float  # leader clock at send; echoed back for lease math
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    term: int
+    follower: int
+    success: bool
+    match_index: int   # on success: last replicated index; on failure: hint
+    sent_at: float     # echo of AppendEntries.sent_at
+
+
+@dataclass(frozen=True)
+class InstallSnapshot:
+    term: int
+    leader: int
+    snapshot: Snapshot
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    term: int
+    follower: int
+    match_index: int
+    sent_at: float
+
+
+class RaftNode:
+    """Consensus state for one control site (id ``0..n-1``)."""
+
+    def __init__(self, node_id: int, n_nodes: int, *, election_rng,
+                 heartbeat_interval_s: float,
+                 election_timeout_s: tuple[float, float],
+                 snapshot_threshold: int,
+                 catchup_budget: RetryBudget | None = None):
+        self.id = node_id
+        self.n = n_nodes
+        self.quorum = n_nodes // 2 + 1
+        self._rng = election_rng
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.election_timeout_s = election_timeout_s
+        self.snapshot_threshold = snapshot_threshold
+        # out-of-band catch-up resends (beyond heartbeats) draw on a
+        # retry budget so a flapping follower cannot turn the leader
+        # into a resend firehose
+        self.catchup_budget = catchup_budget
+
+        self.term = 0
+        self.voted_for: int | None = None
+        self.role = Role.FOLLOWER
+        self.leader_hint: int | None = None
+        self.log = ReplicatedLog()
+        self.commit_index = 0
+        self.state = ControlState()
+
+        self.election_deadline = self._draw_timeout(0.0)
+        self.last_leader_contact = 0.0
+        self.elections_started = 0
+        self.terms_led: list[int] = []
+
+        # leader-only bookkeeping
+        self.next_index: dict[int, int] = {}
+        self.match_index: dict[int, int] = {}
+        self.ack_time: dict[int, float] = {}  # newest acked sent_at per peer
+        self.heartbeat_due = 0.0
+        self._votes: set[int] = set()
+
+    # -- timeouts -----------------------------------------------------------------
+    def _draw_timeout(self, now: float) -> float:
+        lo, hi = self.election_timeout_s
+        return now + float(self._rng.uniform(lo, hi))
+
+    @property
+    def peers(self) -> list[int]:
+        return [i for i in range(self.n) if i != self.id]
+
+    def next_deadline(self) -> float:
+        """When this node next wants a timer callback."""
+        if self.role is Role.LEADER:
+            return self.heartbeat_due
+        return self.election_deadline
+
+    # -- role transitions ---------------------------------------------------------
+    def _become_follower(self, term: int) -> None:
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+        self.role = Role.FOLLOWER
+        self._votes = set()
+
+    def _become_leader(self, now: float) -> list[tuple[int, object]]:
+        self.role = Role.LEADER
+        self.leader_hint = self.id
+        self.terms_led.append(self.term)
+        self.next_index = {p: self.log.last_index + 1 for p in self.peers}
+        self.match_index = {p: 0 for p in self.peers}
+        self.ack_time = {p: float("-inf") for p in self.peers}
+        self.heartbeat_due = now + self.heartbeat_interval_s
+        # barrier entry: lets this leader commit predecessors' entries
+        self.log.append(self.term, NOOP)
+        return [(p, self._append_for(p, now)) for p in self.peers]
+
+    # -- timer events -------------------------------------------------------------
+    def on_timer(self, now: float) -> list[tuple[int, object]]:
+        if self.role is Role.LEADER:
+            if now < self.heartbeat_due:
+                return []
+            self.heartbeat_due = now + self.heartbeat_interval_s
+            self.maybe_compact()
+            return [(p, self._append_for(p, now)) for p in self.peers]
+        if now < self.election_deadline:
+            return []
+        # start (or restart) an election
+        self.term += 1
+        self.role = Role.CANDIDATE
+        self.voted_for = self.id
+        self._votes = {self.id}
+        self.leader_hint = None
+        self.elections_started += 1
+        self.election_deadline = self._draw_timeout(now)
+        if self.quorum == 1:
+            return self._become_leader(now)
+        msg = RequestVote(self.term, self.id, self.log.last_index,
+                          self.log.last_term)
+        return [(p, msg) for p in self.peers]
+
+    # -- client entry point (leader only) ------------------------------------------
+    def propose(self, command: Command, now: float) -> LogEntry:
+        assert self.role is Role.LEADER
+        entry = self.log.append(self.term, command)
+        if self.quorum == 1:
+            self._advance_commit()
+        return entry
+
+    # -- message handling ---------------------------------------------------------
+    def on_message(self, msg, now: float) -> list[tuple[int, object]]:
+        if msg.term > self.term:
+            self._become_follower(msg.term)
+        if isinstance(msg, RequestVote):
+            return self._on_request_vote(msg, now)
+        if isinstance(msg, VoteReply):
+            return self._on_vote_reply(msg, now)
+        if isinstance(msg, AppendEntries):
+            return self._on_append(msg, now)
+        if isinstance(msg, AppendReply):
+            return self._on_append_reply(msg, now)
+        if isinstance(msg, InstallSnapshot):
+            return self._on_install_snapshot(msg, now)
+        if isinstance(msg, SnapshotReply):
+            return self._on_snapshot_reply(msg, now)
+        return []
+
+    def _on_request_vote(self, msg: RequestVote, now: float):
+        granted = False
+        if msg.term == self.term and self.voted_for in (None, msg.candidate):
+            up_to_date = (msg.last_log_term, msg.last_log_index) >= (
+                self.log.last_term, self.log.last_index)
+            if up_to_date:
+                granted = True
+                self.voted_for = msg.candidate
+                self.election_deadline = self._draw_timeout(now)
+        return [(msg.candidate, VoteReply(self.term, self.id, granted))]
+
+    def _on_vote_reply(self, msg: VoteReply, now: float):
+        if self.role is not Role.CANDIDATE or msg.term != self.term:
+            return []
+        if msg.granted:
+            self._votes.add(msg.voter)
+            if len(self._votes) >= self.quorum:
+                return self._become_leader(now)
+        return []
+
+    def _on_append(self, msg: AppendEntries, now: float):
+        if msg.term < self.term:
+            return [(msg.leader,
+                     AppendReply(self.term, self.id, False,
+                                 self.log.last_index, msg.sent_at))]
+        # valid leader for our term
+        self._become_follower(msg.term)
+        self.leader_hint = msg.leader
+        self.last_leader_contact = now
+        self.election_deadline = self._draw_timeout(now)
+
+        prev_term = self.log.term_at(msg.prev_index)
+        if prev_term is None or prev_term != msg.prev_term:
+            # missing or conflicting prev entry: hint how far back to go
+            hint = min(self.log.last_index, max(msg.prev_index - 1, 0))
+            return [(msg.leader,
+                     AppendReply(self.term, self.id, False, hint,
+                                 msg.sent_at))]
+        match = msg.prev_index
+        for entry in msg.entries:
+            if entry.index <= self.log.base_index:
+                match = max(match, entry.index)
+                continue  # already compacted == already committed here
+            existing = self.log.term_at(entry.index)
+            if existing is not None and existing != entry.term:
+                self.log.truncate_from(entry.index)
+                existing = None
+            if existing is None:
+                self.log.append(entry.term, entry.command)
+            match = entry.index
+        if msg.leader_commit > self.commit_index:
+            self.commit_index = min(msg.leader_commit, self.log.last_index)
+            self._apply_committed()
+        self.maybe_compact()
+        return [(msg.leader,
+                 AppendReply(self.term, self.id, True, match, msg.sent_at))]
+
+    def _on_append_reply(self, msg: AppendReply, now: float):
+        if self.role is not Role.LEADER or msg.term != self.term:
+            return []
+        peer = msg.follower
+        self.ack_time[peer] = max(self.ack_time.get(peer, float("-inf")),
+                                  msg.sent_at)
+        if msg.success:
+            if msg.match_index > self.match_index.get(peer, 0):
+                self.match_index[peer] = msg.match_index
+            self.next_index[peer] = max(self.next_index.get(peer, 1),
+                                        msg.match_index + 1)
+            self._advance_commit()
+            if (self.next_index[peer] <= self.log.last_index
+                    and self._may_resend()):
+                return [(peer, self._append_for(peer, now))]
+            return []
+        # log mismatch: back off next_index toward the follower's hint
+        self.next_index[peer] = max(
+            1, min(self.next_index.get(peer, 1) - 1, msg.match_index + 1))
+        if self._may_resend():
+            return [(peer, self._append_for(peer, now))]
+        return []
+
+    def _on_install_snapshot(self, msg: InstallSnapshot, now: float):
+        if msg.term < self.term:
+            return [(msg.leader,
+                     SnapshotReply(self.term, self.id, self.log.last_index,
+                                   msg.sent_at))]
+        self._become_follower(msg.term)
+        self.leader_hint = msg.leader
+        self.last_leader_contact = now
+        self.election_deadline = self._draw_timeout(now)
+        snap = msg.snapshot
+        if snap.last_index > self.log.base_index:
+            if snap.last_index <= self.log.last_index and \
+                    self.log.term_at(snap.last_index) == snap.last_term:
+                self.log.compact(snap)  # snapshot covers a prefix we hold
+            else:
+                self.log.install(snap)
+            if snap.last_index > self.commit_index:
+                self.commit_index = snap.last_index
+            if snap.last_index > self.state.applied_index:
+                self.state = ControlState.from_snapshot(snap.state)
+        return [(msg.leader,
+                 SnapshotReply(self.term, self.id, self.log.base_index,
+                               msg.sent_at))]
+
+    def _on_snapshot_reply(self, msg: SnapshotReply, now: float):
+        if self.role is not Role.LEADER or msg.term != self.term:
+            return []
+        peer = msg.follower
+        self.ack_time[peer] = max(self.ack_time.get(peer, float("-inf")),
+                                  msg.sent_at)
+        if msg.match_index > self.match_index.get(peer, 0):
+            self.match_index[peer] = msg.match_index
+        self.next_index[peer] = max(self.next_index.get(peer, 1),
+                                    msg.match_index + 1)
+        if (self.next_index[peer] <= self.log.last_index
+                and self._may_resend()):
+            return [(peer, self._append_for(peer, now))]
+        return []
+
+    # -- leader internals ---------------------------------------------------------
+    def _may_resend(self) -> bool:
+        if self.catchup_budget is None:
+            return True
+        return self.catchup_budget.acquire()
+
+    def _append_for(self, peer: int, now: float):
+        """Build the AppendEntries (or InstallSnapshot) for ``peer``."""
+        nxt = self.next_index.get(peer, self.log.last_index + 1)
+        if nxt <= self.log.base_index:
+            snap = self.log.snapshot or Snapshot(
+                self.log.base_index, self.log.base_term,
+                self.state.to_snapshot())
+            return InstallSnapshot(self.term, self.id, snap, now)
+        prev_index = nxt - 1
+        prev_term = self.log.term_at(prev_index)
+        entries = self.log.entries_from(nxt)
+        return AppendEntries(self.term, self.id, prev_index, prev_term,
+                             entries, self.commit_index, now)
+
+    def _advance_commit(self) -> None:
+        """Commit the highest current-term index replicated on a
+        quorum (Raft §5.4.2: never count older-term replicas)."""
+        for idx in range(self.log.last_index, self.commit_index, -1):
+            if self.log.term_at(idx) != self.term:
+                break
+            replicated = 1 + sum(
+                1 for p in self.peers if self.match_index.get(p, 0) >= idx)
+            if replicated >= self.quorum:
+                self.commit_index = idx
+                break
+        self._apply_committed()
+
+    def lease_valid(self, now: float, lease_duration_s: float) -> bool:
+        """Leader lease: quorum-acked heartbeat rounds extend a lease of
+        ``lease_duration_s`` past the (quorum-1)-th freshest ack time.
+        Only within the lease may the leader serve local reads without a
+        quorum round-trip."""
+        if self.role is not Role.LEADER:
+            return False
+        acks = sorted((self.ack_time.get(p, float("-inf"))
+                       for p in self.peers), reverse=True)
+        need = self.quorum - 1  # leader vouches for itself
+        if need == 0:
+            return True
+        anchor = acks[need - 1]
+        return now < anchor + lease_duration_s
+
+    # -- apply / compaction -------------------------------------------------------
+    def _apply_committed(self) -> None:
+        while self.state.applied_index < self.commit_index:
+            idx = self.state.applied_index + 1
+            entry = self.log.entry(idx)
+            self.state.apply(entry.command, idx)
+
+    def maybe_compact(self) -> None:
+        """Snapshot + truncate once the applied suffix outgrows the
+        threshold. Only applied (hence committed) entries compact, so a
+        snapshot never contains uncommitted writes."""
+        applied = self.state.applied_index
+        if applied - self.log.base_index < self.snapshot_threshold:
+            return
+        snap = Snapshot(applied, self.log.term_at(applied) or 0,
+                        self.state.to_snapshot())
+        self.log.compact(snap)

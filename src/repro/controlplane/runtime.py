@@ -1,0 +1,58 @@
+"""Per-run bundle: plane + session + mirrored catalog + views.
+
+The scheduler owns one :class:`ControlRuntime` when a run opts into the
+replicated control plane (``control=ControlPlaneConfig(...)``). It
+wires the catalog mirror, the client session, and the planner-facing
+views together so the scheduler touches one object instead of five.
+"""
+
+from __future__ import annotations
+
+from repro.continuum.topology import Topology
+from repro.controlplane.cluster import ControlPlane, ControlPlaneConfig
+from repro.controlplane.session import ControlPlaneSession, ControlPlaneStats
+from repro.controlplane.view import (
+    MirroredCatalog, RegistryView, ReplicatedCatalogView,
+)
+from repro.faults.partitions import PartitionSchedule, PartitionWindow
+from repro.utils.rng import RngRegistry
+
+
+class ControlRuntime:
+    """Everything one scheduled run needs from the control plane."""
+
+    def __init__(self, config: ControlPlaneConfig, topology: Topology,
+                 *, rngs: RngRegistry | None = None):
+        self.config = config
+        self.plane = ControlPlane(config, rngs=rngs)
+        self.stats = ControlPlaneStats()
+        self.session = ControlPlaneSession(self.plane, stats=self.stats)
+        self.catalog = MirroredCatalog(self.plane)
+        self.view = ReplicatedCatalogView(self.session, self.catalog, topology)
+        self.registry = RegistryView(self.session)
+
+    def bind_clock(self, clock) -> None:
+        self.catalog.bind_clock(clock)
+
+    def placement_read(self, now: float) -> float:
+        return self.session.placement_read(now)
+
+    def begin_partition(self, window: PartitionWindow, now: float) -> None:
+        self.plane.begin_partition(window, now)
+
+    def end_partition(self, now: float) -> None:
+        self.plane.end_partition(now)
+
+    def arm_partitions(self, sim, schedule: PartitionSchedule) -> None:
+        """Schedule every window's split and heal on the simulator; the
+        plane resolves leader-style islands at fire time."""
+        schedule.validate_against(self.config.n_sites)
+        for window in schedule.windows:
+            def begin(w=window):
+                self.plane.begin_partition(w, sim.now)
+
+            def end():
+                self.plane.end_partition(sim.now)
+
+            sim.schedule_at(window.start_s, begin)
+            sim.schedule_at(window.end_s, end)

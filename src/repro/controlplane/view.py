@@ -1,0 +1,263 @@
+"""Catalog/registry views over the replicated control plane.
+
+Three adapters connect the consensus machinery to the layers that
+consume metadata:
+
+- :class:`MirroredCatalog` — a drop-in :class:`ReplicaCatalog` that
+  *also* submits every replica mutation to the control plane. The bare
+  catalog stays the physical ground truth (a site always knows what is
+  on its own disk); the plane is the federation's lagged metadata
+  service replicating that truth.
+- :class:`ReplicatedCatalogView` — duck-types the catalog *read* API
+  against the image the session's last placement read resolved: the
+  physical catalog itself when the read linearized at a leased or
+  quorum-confirmed leader (the leader serializes every mutation the
+  moment it physically happens, so its image *is* ground truth), or a
+  follower's lagged applied state otherwise. :class:`CostModel`,
+  placement strategies, and the transfer service all plan against
+  this view. It also does the staleness accounting: every
+  transfer-source decision is compared against the physical catalog,
+  and divergence is booked as a misplacement (plus wasted bytes when
+  the stale choice is strictly slower).
+- :class:`RegistryView` — endpoint liveness per the replicated
+  registry, for faas routing's ``healthy_endpoints``.
+"""
+
+from __future__ import annotations
+
+from repro.continuum.topology import Topology
+from repro.controlplane.cluster import ControlPlane
+from repro.controlplane.log import Command
+from repro.controlplane.session import ControlPlaneSession
+from repro.datafabric.catalog import ReplicaCatalog
+from repro.datafabric.dataset import Dataset, Replica
+from repro.errors import DataFabricError
+
+
+class MirroredCatalog(ReplicaCatalog):
+    """Authoritative catalog that mirrors mutations into the plane.
+
+    ``register`` calls made before the run starts are *bootstrapped*
+    (pre-replicated, no lag): the federation converged on the initial
+    dataset definitions long ago. Replica add/drop during the run are
+    real replicated writes and pay commit latency before remote control
+    sites observe them.
+    """
+
+    def __init__(self, plane: ControlPlane):
+        super().__init__()
+        self.plane = plane
+        self._clock = lambda: 0.0
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulation clock (called once the run owns one)."""
+        self._clock = clock
+
+    def register(self, dataset: Dataset) -> Dataset:
+        out = super().register(dataset)
+        self._mirror(Command(
+            "register", (dataset.name, dataset.size_bytes, dataset.kind)))
+        return out
+
+    def add_replica(self, name: str, site: str, time: float = 0.0) -> Replica:
+        replica = super().add_replica(name, site, time)
+        self.plane.submit(
+            Command("add_replica", (name, site, time)), self._clock())
+        return replica
+
+    def drop_replica(self, name: str, site: str) -> None:
+        super().drop_replica(name, site)
+        self.plane.submit(
+            Command("drop_replica", (name, site)), self._clock())
+
+    def bootstrap_replica(self, name: str, site: str,
+                          time: float = 0.0) -> Replica:
+        """Seed replica whose metadata is already federation-wide: a
+        free pre-replicated log entry before the plane starts, a normal
+        replicated write afterwards (late-arriving stream jobs)."""
+        replica = super().add_replica(name, site, time)
+        self._mirror(Command("add_replica", (name, site, time)))
+        return replica
+
+    def _mirror(self, command: Command) -> None:
+        if self.plane.started:
+            self.plane.submit(command, self._clock())
+        else:
+            self.plane.bootstrap([command])
+
+    def endpoint_up(self, site: str) -> None:
+        self.plane.submit(Command("endpoint_up", (site,)), self._clock())
+
+    def endpoint_down(self, site: str) -> None:
+        self.plane.submit(Command("endpoint_down", (site,)), self._clock())
+
+
+class ReplicatedCatalogView:
+    """The catalog as the control plane currently believes it to be."""
+
+    def __init__(self, session: ControlPlaneSession,
+                 authoritative: ReplicaCatalog, topology: Topology):
+        self.session = session
+        self.authoritative = authoritative
+        self.topology = topology
+        self.stats = session.stats
+
+    @property
+    def _truth(self) -> bool:
+        return self.session.pinned_truth
+
+    @property
+    def _state(self):
+        return self.session.current_state()
+
+    # -- read API (CostModel / strategies) ---------------------------------------
+    @property
+    def version(self) -> int:
+        if self._truth:
+            return self.authoritative.version
+        return self._state.version
+
+    def dataset_version(self, name: str) -> int:
+        if self._truth:
+            return self.authoritative.dataset_version(name)
+        return self._state.dataset_version(name)
+
+    def dataset(self, name: str) -> Dataset:
+        if self._truth:
+            return self.authoritative.dataset(name)
+        state = self._state
+        if name in state:
+            return state.dataset(name)
+        return self.authoritative.dataset(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._state or name in self.authoritative
+
+    @property
+    def dataset_names(self) -> list[str]:
+        if self._truth:
+            return self.authoritative.dataset_names
+        return self._state.dataset_names
+
+    def locations(self, name: str) -> list[str]:
+        """Replica sites per the view. When a follower view knows
+        *none* (the mutation hasn't replicated yet) planning falls back
+        to the dataset's **origin** replica only — the one location the
+        scheduler knows out-of-band from the producing task's
+        completion event. It does NOT get the full physical replica
+        set: closer staged copies the control plane hasn't told it
+        about stay invisible. Counted as a fallback read."""
+        if self._truth:
+            return self.authoritative.locations(name)
+        state = self._state
+        locs = state.locations(name) if name in state else []
+        if locs:
+            return locs
+        origin = self._origin(name)
+        if origin is not None:
+            self.stats.fallback_reads += 1
+            return [origin]
+        return []
+
+    def _origin(self, name: str) -> str | None:
+        """First-created authoritative replica (insertion order)."""
+        if name not in self.authoritative:
+            return None
+        auth_locs = self.authoritative.locations(name)
+        return auth_locs[0] if auth_locs else None
+
+    def has_replica(self, name: str, site: str) -> bool:
+        if self._truth:
+            return self.authoritative.has_replica(name, site)
+        return self._state.has_replica(name, site)
+
+    def nearest_source(self, topology: Topology, name: str,
+                       to_site: str) -> tuple[str, float]:
+        if self._truth:
+            return self.authoritative.nearest_source(topology, name, to_site)
+        sources = self.locations(name)
+        dataset = self.dataset(name)
+        if not sources:
+            raise DataFabricError(f"dataset {name!r} has no replicas")
+        best_site, best_time = None, None
+        for src in sources:
+            est = topology.path_info(src, to_site).transfer_time(
+                dataset.size_bytes)
+            if best_time is None or est < best_time:
+                best_site, best_time = src, est
+        return best_site, best_time
+
+    def bytes_at(self, site: str) -> float:
+        if self._truth:
+            return self.authoritative.bytes_at(site)
+        return self._state.bytes_at(site)
+
+    def datasets_at(self, site: str) -> list[Dataset]:
+        if self._truth:
+            return self.authoritative.datasets_at(site)
+        return self._state.datasets_at(site)
+
+    # -- transfer-source resolution with staleness accounting ---------------------
+    def transfer_source(self, name: str, to_site: str) -> tuple[str, float]:
+        """Pick the wire source for staging ``name`` to ``to_site``
+        from the replicated view, booking divergence from the physical
+        catalog as misplacement/waste, and guarding against *phantom*
+        sources (the view says a replica exists; physically it
+        doesn't — the puller discovers this and re-resolves against the
+        authoritative catalog, paying an extra metadata round)."""
+        if self._truth:
+            # linearized read: the leader's image is the physical
+            # catalog, so divergence is structurally impossible
+            src, _ = self.authoritative.nearest_source(
+                self.topology, name, to_site)
+            return src, 0.0
+        view_src = self._best_or_none(self._state, name, to_site)
+        if view_src is None:
+            # the follower view has never heard of this dataset's
+            # replicas: pull from the origin the completion event named
+            # (the only location known out-of-band), even if a closer
+            # staged copy physically exists
+            self.stats.fallback_reads += 1
+            origin = self._origin(name)
+            if origin is None:
+                src, _ = self.authoritative.nearest_source(
+                    self.topology, name, to_site)
+                return src, 0.0
+            size = self.authoritative.dataset(name).size_bytes
+            view_src = (origin, self.topology.path_info(
+                origin, to_site).transfer_time(size))
+        src, est = view_src
+        ref_src, ref_est = self.authoritative.nearest_source(
+            self.topology, name, to_site)
+        if src != ref_src:
+            self.stats.misplacements += 1
+            if est > ref_est:
+                self.stats.wasted_bytes += \
+                    self.authoritative.dataset(name).size_bytes
+        if not self.authoritative.has_replica(name, src):
+            self.stats.phantom_sources += 1
+            # one wasted metadata round to discover and re-resolve
+            return ref_src, 2.0 * self.session.config.local_read_rtt_s
+        return src, 0.0
+
+    def _best_or_none(self, state, name, to_site):
+        if name not in state:
+            return None
+        try:
+            return state.nearest_source(self.topology, name, to_site)
+        except DataFabricError:
+            return None
+
+
+class RegistryView:
+    """Endpoint liveness per the replicated registry."""
+
+    def __init__(self, session: ControlPlaneSession):
+        self.session = session
+
+    def is_live(self, site: str) -> bool:
+        return self.session.current_state().endpoint_live(site)
+
+    @property
+    def down_endpoints(self) -> list[str]:
+        return self.session.current_state().down_endpoints

@@ -28,10 +28,16 @@ class SchedulingContext:
         *,
         rngs: RngRegistry | None = None,
         candidate_sites: list[str] | None = None,
+        view=None,
     ):
         self.topology = topology
-        self.catalog = catalog
-        self.cost = CostModel(topology, catalog)
+        # strategies and the cost model read through ``view`` when the
+        # run's metadata is served by the replicated control plane (a
+        # possibly-stale CatalogView); the bare catalog otherwise. The
+        # authoritative catalog stays reachable either way.
+        self.catalog = view if view is not None else catalog
+        self.authoritative = catalog
+        self.cost = CostModel(topology, self.catalog)
         self.rngs = rngs or RngRegistry(0)
         names = candidate_sites if candidate_sites is not None else topology.site_names
         if not names:

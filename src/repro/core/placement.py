@@ -82,6 +82,8 @@ class ScheduleResult:
     interruptions: int = 0       # task executions cut short by outages
     wasted_exec_s: float = 0.0   # execution seconds lost to interrupts
     resilience: ResilienceStats | None = None   # recovery-action accounting
+    control: object | None = None   # ControlPlaneStats when replicated metadata
+                                    # served this run (None on single-copy runs)
 
     @property
     def total_usd(self) -> float:

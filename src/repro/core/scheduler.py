@@ -51,6 +51,8 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.continuum.topology import Topology
+from repro.controlplane.cluster import ControlPlaneConfig
+from repro.controlplane.runtime import ControlRuntime
 from repro.core.context import SchedulingContext
 from repro.core.placement import PlacementDecision, ScheduleResult, TaskRecord
 from repro.core.strategies.base import PlacementStrategy
@@ -60,6 +62,7 @@ from repro.datafabric.transfer import TransferService
 from repro.errors import DataFabricError, SchedulingError
 from repro.faults.campaign import TaskChaos
 from repro.faults.outages import OutageSchedule, SiteOutage
+from repro.faults.partitions import PartitionSchedule
 from repro.netsim.network import FlowNetwork
 from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.resilience.breaker import BreakerState
@@ -124,6 +127,7 @@ class StreamResult:
     interruptions: int = 0
     wasted_exec_s: float = 0.0
     resilience: ResilienceStats | None = None
+    control: object | None = None   # ControlPlaneStats on replicated runs
 
     @property
     def last_finish(self) -> float:
@@ -168,6 +172,8 @@ class ContinuumScheduler:
         task_retries: int = 2,
         until: float | None = None,
         tracer: Tracer | None = None,
+        control: ControlPlaneConfig | None = None,
+        partitions: PartitionSchedule | None = None,
     ) -> ScheduleResult:
         """Execute one ``dag`` under ``strategy``.
 
@@ -181,12 +187,21 @@ class ContinuumScheduler:
         retries). Pass a :class:`~repro.observe.Tracer` to record
         per-task, per-transfer, fault-injection, and recovery spans;
         tracing never changes the schedule (it only reads the clock).
+
+        ``control`` opts the run into the replicated control plane: all
+        metadata reads (placement rounds, transfer sources) go through
+        the configured read mode, every replica mutation becomes a
+        replicated write, and the result carries ``ControlPlaneStats``.
+        ``partitions`` (requires ``control``) splits the control sites
+        per the schedule. With ``control=None`` (the default) the
+        single-copy path runs bit-identically to previous releases.
         """
         dag.validate()
         job = StreamJob(0.0, dag, tuple(external_inputs))
         run = _Run(self, [job], strategy,
                    failures=failures, chaos=chaos, resilience=resilience,
-                   task_retries=task_retries, tracer=tracer)
+                   task_retries=task_retries, tracer=tracer,
+                   control=control, partitions=partitions)
         run.execute(until=until)
         return run.single_result()
 
@@ -201,6 +216,8 @@ class ContinuumScheduler:
         task_retries: int = 2,
         until: float | None = None,
         tracer: Tracer | None = None,
+        control: ControlPlaneConfig | None = None,
+        partitions: PartitionSchedule | None = None,
     ) -> StreamResult:
         """Execute an online stream of workflow instances.
 
@@ -217,7 +234,8 @@ class ContinuumScheduler:
             job.dag.validate()
         run = _Run(self, job_list, strategy,
                    failures=failures, chaos=chaos, resilience=resilience,
-                   task_retries=task_retries, tracer=tracer)
+                   task_retries=task_retries, tracer=tracer,
+                   control=control, partitions=partitions)
         run.execute(until=until)
         return run.stream_result()
 
@@ -231,7 +249,9 @@ class _Run:
                  chaos: TaskChaos | None = None,
                  resilience: ResiliencePolicy | None = None,
                  task_retries: int = 2,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 control: ControlPlaneConfig | None = None,
+                 partitions: PartitionSchedule | None = None):
         self.jobs = jobs
         self.strategy = strategy
         self.failures = failures
@@ -255,16 +275,36 @@ class _Run:
         self.rngs = RngRegistry(sched.seed)
         self.network = FlowNetwork(self.sim, sched.topology,
                                    monitor=self.monitor)
-        self.catalog = ReplicaCatalog()
+        # replicated control plane (opt-in): the catalog becomes a
+        # mirror whose mutations replicate across N control sites, and
+        # planner/transfer reads go through the configured read mode.
+        # With control=None nothing below this block changes behaviour.
+        if partitions is not None and not partitions.empty \
+                and control is None:
+            raise SchedulingError(
+                "partitions require a control plane (pass control=...)"
+            )
+        self.control = None
+        if control is not None:
+            self.control = ControlRuntime(control, sched.topology,
+                                          rngs=self.rngs)
+            self.control.bind_clock(lambda: self.sim.now)
+        self.partitions = partitions
+        self.catalog = (self.control.catalog if self.control is not None
+                        else ReplicaCatalog())
+        self._ctl_view = self.control.view if self.control is not None else None
+        self._ctl_read_state = "idle"
         self.transfers = TransferService(
             self.sim, self.network, self.catalog,
             failure_prob=sched.transfer_failure_prob,
             max_attempts=sched.transfer_max_attempts,
             rngs=self.rngs,
+            view=self._ctl_view,
         )
         self.ctx = SchedulingContext(
             sched.topology, self.catalog, rngs=self.rngs,
             candidate_sites=sched.candidate_sites,
+            view=self._ctl_view,
         )
         self.resources = {
             site.name: Resource(self.sim, site.slots, name=site.name)
@@ -362,7 +402,15 @@ class _Run:
     def _job_arrives(self, idx: int) -> None:
         job = self.jobs[idx]
         for dataset, site in job.external_inputs:
-            self.catalog.add_replica(dataset.name, site, time=self.sim.now)
+            if self.control is not None:
+                # external inputs pre-exist in the federation: their
+                # metadata ships with the job submission and is already
+                # replicated (no lag) — staleness applies to the
+                # *dynamic* replicas the run creates
+                self.catalog.bootstrap_replica(dataset.name, site,
+                                               time=self.sim.now)
+            else:
+                self.catalog.add_replica(dataset.name, site, time=self.sim.now)
         self.ctx.set_now(self.sim.now)
         self.strategy.prepare(job.dag, self.ctx)
         for name in job.dag.task_names:
@@ -400,6 +448,8 @@ class _Run:
             interruptions=self.interruptions,
             wasted_exec_s=self.wasted_exec_s,
             resilience=self._final_stats(),
+            control=(self.control.stats if self.control is not None
+                     else None),
         )
 
     def stream_result(self) -> StreamResult:
@@ -423,10 +473,15 @@ class _Run:
             interruptions=self.interruptions,
             wasted_exec_s=self.wasted_exec_s,
             resilience=self._final_stats(),
+            control=(self.control.stats if self.control is not None
+                     else None),
         )
 
     # -- failure injection ---------------------------------------------------------
     def _arm_failures(self) -> None:
+        if self.control is not None and self.partitions is not None \
+                and not self.partitions.empty:
+            self.control.arm_partitions(self.sim, self.partitions)
         if self.failures is None or self.failures.empty:
             return
         for outage in self.failures.site_outages:
@@ -442,6 +497,10 @@ class _Run:
         self._down_depth[outage.site] = self._down_depth.get(outage.site, 0) + 1
         self.tracer.instant("site_down", "fault", site=outage.site,
                             depth=self._down_depth[outage.site])
+        if self.control is not None and self._down_depth[outage.site] == 1:
+            # registry learns of the death through the replicated log;
+            # stale readers keep routing to the corpse until it commits
+            self.catalog.endpoint_down(outage.site)
         if outage.site in self.ctx._slots:
             self.ctx.mark_down(outage.site)
         victims = [
@@ -461,6 +520,8 @@ class _Run:
         self.tracer.instant("site_up", "fault", site=site, depth=depth)
         if depth > 0:
             return
+        if self.control is not None:
+            self.catalog.endpoint_up(site)
         self.ctx.mark_up(site)
         if self.ready:
             self._schedule_dispatch()
@@ -520,9 +581,38 @@ class _Run:
         if self.ready:
             self._schedule_dispatch()
 
+    def _ctl_read_begin(self) -> bool:
+        """Pay for one control-plane placement read before a dispatch
+        round. Returns True when the round may proceed now (the read
+        resolved instantly or was already paid); otherwise the round is
+        deferred until the read's simulated latency elapses. Tasks going
+        ready in the interim ride the same round — one read serves the
+        whole batch, like one scheduler loop against one metadata page.
+        """
+        if self._ctl_read_state == "waiting":
+            return False
+        if self._ctl_read_state == "ready":
+            self._ctl_read_state = "idle"
+            return True
+        latency = self.control.placement_read(self.sim.now)
+        if latency <= 0.0:
+            return True
+        self._ctl_read_state = "waiting"
+        self.sim.schedule(latency, self._ctl_read_done)
+        return False
+
+    def _ctl_read_done(self) -> None:
+        self._ctl_read_state = "ready"
+        if self.ready:
+            self._schedule_dispatch()
+        else:
+            self._ctl_read_state = "idle"
+
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
         if not self.ready:
+            return
+        if self.control is not None and not self._ctl_read_begin():
             return
         self.ctx.set_now(self.sim.now)
         vetoed = self._breaker_vetoes()

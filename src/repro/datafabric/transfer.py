@@ -15,7 +15,7 @@ from repro.continuum.topology import Topology
 from repro.datafabric.catalog import ReplicaCatalog
 from repro.errors import DataFabricError
 from repro.netsim.network import FlowNetwork
-from repro.simcore.process import Signal
+from repro.simcore.process import Signal, Timeout
 from repro.simcore.simulation import Simulator
 from repro.utils.rng import RngRegistry
 from repro.utils.validation import check_non_negative, check_probability
@@ -64,10 +64,16 @@ class TransferService:
         failure_prob: float = 0.0,
         max_attempts: int = 3,
         rngs: RngRegistry | None = None,
+        view=None,
     ):
         self.sim = sim
         self.network = network
         self.catalog = catalog
+        # optional replicated-catalog view: when present, transfer
+        # *sources* are resolved from the (possibly stale) control-plane
+        # view instead of the authoritative catalog — destination
+        # residency stays authoritative (a site knows its own disk)
+        self.view = view
         self.topology: Topology = network.topology
         self.failure_prob = check_probability("failure_prob", failure_prob)
         if max_attempts < 1:
@@ -118,6 +124,16 @@ class TransferService:
         )
         return signal
 
+    def _pick_source(self, name: str, to_site: str) -> tuple[str, float]:
+        """Resolve the wire source: through the replicated view (with
+        staleness accounting and phantom-source penalties) when one is
+        attached, else the authoritative nearest replica. Returns
+        ``(site, extra_delay_s)``."""
+        if self.view is not None:
+            return self.view.transfer_source(name, to_site)
+        src, _est = self.catalog.nearest_source(self.topology, name, to_site)
+        return src, 0.0
+
     def _stage_proc(self, name: str, to_site: str, signal: Signal,
                     weight: float = 1.0):
         started = self.sim.now
@@ -127,7 +143,12 @@ class TransferService:
         try:
             while True:
                 attempts += 1
-                src, _est = self.catalog.nearest_source(self.topology, name, to_site)
+                src, penalty = self._pick_source(name, to_site)
+                if penalty > 0:
+                    # stale metadata sent us to a phantom replica; the
+                    # puller discovered it and re-resolved — pay the
+                    # extra metadata round before the real transfer
+                    yield Timeout(penalty)
                 yield self.network.transfer(src, to_site, dataset.size_bytes,
                                             weight=weight)
                 bytes_moved += dataset.size_bytes

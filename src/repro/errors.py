@@ -66,3 +66,8 @@ class ConfigurationError(ContinuumError):
 class ObserveError(ContinuumError):
     """Raised by the observability layer (span misuse, malformed trace
     exports failing schema validation)."""
+
+
+class ControlPlaneError(ContinuumError):
+    """Raised by the replicated control plane (malformed log operations,
+    reads against a dead cluster, misconfigured replication)."""

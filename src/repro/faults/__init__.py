@@ -10,10 +10,14 @@ models those as *scheduled* events so experiments stay reproducible:
 - :class:`LinkBrownout` — a link's bandwidth degrading for an interval,
   applied live to the flow network,
 - generators — Poisson outage processes over a topology's sites,
+- :mod:`repro.faults.partitions` — control-plane partitions: seeded
+  splits among the federation's metadata-replication sites, healing
+  into follower catch-up (see :mod:`repro.controlplane`),
 - :mod:`repro.faults.campaign` — composable chaos campaigns layering
   outages, brownouts, degraded-site windows, transient task faults,
-  stragglers, and corrupted transfers into one reproducible schedule
-  (``python -m repro chaos`` runs one from the command line).
+  stragglers, corrupted transfers, and control-plane partitions into
+  one reproducible schedule (``python -m repro chaos`` runs one from
+  the command line).
 """
 
 from repro.faults.campaign import (
@@ -30,6 +34,12 @@ from repro.faults.outages import (
     SiteOutage,
     poisson_outages,
 )
+from repro.faults.partitions import (
+    PARTITION_STYLES,
+    PartitionSchedule,
+    PartitionWindow,
+    poisson_partitions,
+)
 
 __all__ = [
     "SiteOutage",
@@ -42,4 +52,8 @@ __all__ = [
     "ChaosCampaign",
     "CampaignPlan",
     "CAMPAIGN_INTENSITIES",
+    "PARTITION_STYLES",
+    "PartitionWindow",
+    "PartitionSchedule",
+    "poisson_partitions",
 ]

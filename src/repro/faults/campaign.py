@@ -12,7 +12,11 @@ into one reproducible plan:
 - **transient task faults / stragglers** — background rates that apply
   everywhere, all the time,
 - **corrupted transfers** — a per-attempt integrity-failure probability
-  for the transfer service.
+  for the transfer service,
+- **control-plane partitions** — splits among the federation's
+  metadata-replication sites (see :mod:`repro.faults.partitions`);
+  rendered only when :meth:`ChaosCampaign.build` is told how many
+  control sites the run replicates across.
 
 Determinism is the design center.  Scheduled events (outages,
 brownouts, degraded windows) are drawn once from named RNG streams.
@@ -35,6 +39,11 @@ from repro.faults.outages import (
     LinkBrownout,
     OutageSchedule,
     poisson_outages,
+)
+from repro.faults.partitions import (
+    PARTITION_STYLES,
+    PartitionSchedule,
+    poisson_partitions,
 )
 from repro.utils.rng import RngRegistry, derive_seed
 from repro.utils.validation import (
@@ -189,6 +198,7 @@ class CampaignPlan:
     outages: OutageSchedule
     task_chaos: TaskChaos
     transfer_failure_prob: float = 0.0
+    partitions: PartitionSchedule = field(default_factory=PartitionSchedule)
 
     @property
     def site_outage_count(self) -> int:
@@ -201,6 +211,10 @@ class CampaignPlan:
     @property
     def degraded_window_count(self) -> int:
         return sum(len(w) for w in self.task_chaos.degraded.values())
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
 
 
 @dataclass(frozen=True)
@@ -233,6 +247,12 @@ class ChaosCampaign:
     straggler_factor: float = 4.0
     # corrupted transfers
     transfer_failure_prob: float = 0.0
+    # control-plane partitions (rendered only when ``build`` is told
+    # the control-site count — data-plane-only runs have no metadata
+    # cluster to split)
+    partition_rate_per_s: float = 0.0
+    partition_mean_duration_s: float = 30.0
+    partition_styles: tuple[str, ...] = PARTITION_STYLES
 
     def __post_init__(self):
         check_positive("horizon_s", self.horizon_s)
@@ -243,9 +263,21 @@ class ChaosCampaign:
         check_non_negative("degraded_rate_per_site_per_s",
                            self.degraded_rate_per_site_per_s)
         check_probability("transfer_failure_prob", self.transfer_failure_prob)
+        check_non_negative("partition_rate_per_s", self.partition_rate_per_s)
+        for style in self.partition_styles:
+            if style not in PARTITION_STYLES:
+                raise ConfigurationError(
+                    f"unknown partition style {style!r}; "
+                    f"known: {PARTITION_STYLES}"
+                )
 
-    def build(self, topology: Topology) -> CampaignPlan:
-        """Render the campaign against ``topology`` (reproducibly)."""
+    def build(self, topology: Topology,
+              n_control_sites: int | None = None) -> CampaignPlan:
+        """Render the campaign against ``topology`` (reproducibly).
+
+        ``n_control_sites`` sizes the metadata cluster the partition
+        layer splits; when omitted the partition layer stays empty
+        (there is nothing to partition in a single-copy run)."""
         rngs = RngRegistry(self.seed)
         outages = OutageSchedule()
         if self.outage_rate_per_site_per_s > 0:
@@ -287,10 +319,21 @@ class ChaosCampaign:
             degraded=degraded,
         )
         outages.validate_against(topology)
+        partitions = PartitionSchedule()
+        if self.partition_rate_per_s > 0 and n_control_sites is not None:
+            partitions = poisson_partitions(
+                n_control_sites,
+                rate_per_s=self.partition_rate_per_s,
+                horizon_s=self.horizon_s,
+                mean_duration_s=self.partition_mean_duration_s,
+                styles=self.partition_styles,
+                rngs=rngs,
+            )
         return CampaignPlan(
             outages=outages,
             task_chaos=chaos,
             transfer_failure_prob=self.transfer_failure_prob,
+            partitions=partitions,
         )
 
     # -- presets ----------------------------------------------------------------

@@ -91,8 +91,11 @@ class CircuitBreaker:
 
     # -- transitions -----------------------------------------------------------
     def note_probe(self, now: float) -> None:
-        """The caller routed the half-open probe; block until it lands."""
-        if self.state(now) is BreakerState.HALF_OPEN:
+        """The caller routed the half-open probe; block until it lands.
+        Idempotent while that probe is in flight: a window admits (and
+        counts) exactly one probe."""
+        if (self.state(now) is BreakerState.HALF_OPEN
+                and not self._probe_in_flight):
             self._probe_in_flight = True
             self.probes += 1
 

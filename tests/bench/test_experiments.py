@@ -14,8 +14,8 @@ from repro.datafabric import Dataset
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert sorted(EXPERIMENTS) == [
-            "E1", "E10", "E11", "E12", "E13", "E14", "E2", "E3", "E4", "E5",
-            "E6", "E7", "E8", "E9"
+            "E1", "E10", "E11", "E12", "E13", "E14", "E16", "E2", "E3", "E4",
+            "E5", "E6", "E7", "E8", "E9"
         ]
 
 
@@ -107,6 +107,33 @@ class TestHeadlineShapes:
             )
             assert stormy["spread"] > calm["spread"] or crossed_earlier
 
+    def test_e16_staleness_cost_grows_with_lag(self):
+        result = EXPERIMENTS["E16"](quick=True)
+        stale = [r for r in result.rows
+                 if r["mode"] == "stale" and r["partitions"] == "none"]
+        assert stale == sorted(stale, key=lambda r: r["lag_s"])
+        assert stale[-1]["mis"] > stale[0]["mis"]
+        assert stale[-1]["waste_mb"] > stale[0]["waste_mb"]
+
+    def test_e16_quorum_eliminates_misplacement_at_a_latency_premium(self):
+        result = EXPERIMENTS["E16"](quick=True)
+        quorum = [r for r in result.rows if r["mode"] == "quorum"]
+        assert quorum
+        assert all(r["mis"] == 0 and r["waste_mb"] == 0 for r in quorum)
+        stale = [r for r in result.rows if r["mode"] == "stale"]
+        assert min(r["p99_ms"] for r in quorum) > \
+            max(r["p99_ms"] for r in stale)
+
+    def test_e16_partitions_cost_availability(self):
+        result = EXPERIMENTS["E16"](quick=True)
+        by_cell = {(r["mode"], r["partitions"], r["lag_s"]): r
+                   for r in result.rows}
+        calm = sum(r["unavail_s"] for k, r in by_cell.items()
+                   if k[0] == "quorum" and k[1] == "none")
+        stormy = sum(r["unavail_s"] for k, r in by_cell.items()
+                     if k[0] == "quorum" and k[1] == "heavy")
+        assert stormy > calm
+
     def test_e13_no_policy_loses_work(self):
         result = EXPERIMENTS["E13"](quick=True)
         assert all(r["lost"] == 0 for r in result.rows)
@@ -127,7 +154,7 @@ class TestHeadlineShapes:
 
 class TestDeterminism:
     @pytest.mark.parametrize("exp_id", ["E1", "E2", "E6", "E7", "E10", "E13",
-                                        "E14"])
+                                        "E14", "E16"])
     def test_same_seed_same_rows(self, exp_id):
         a = EXPERIMENTS[exp_id](quick=True, seed=3)
         b = EXPERIMENTS[exp_id](quick=True, seed=3)

@@ -1,0 +1,78 @@
+"""Regression: version counters must bump on replica *removal* too.
+
+CostModel caches key on ``(catalog.version, dataset_version)``; if a
+removal failed to bump them, a cached placement could keep routing to a
+replica that no longer exists. Covers the direct ``drop_replica`` path
+and the staged-reader cache-eviction path that drops replicas as a
+side effect.
+"""
+
+from repro.continuum import Link, Site, Tier, Topology
+from repro.datafabric import (
+    Cache,
+    Dataset,
+    ReplicaCatalog,
+    StagedReader,
+    TransferService,
+)
+from repro.netsim import FlowNetwork
+from repro.simcore import Simulator
+
+
+class TestDropBumpsVersions:
+    def test_drop_replica_bumps_global_and_dataset_version(self):
+        cat = ReplicaCatalog()
+        cat.register(Dataset("d", 100.0))
+        cat.add_replica("d", "a")
+        cat.add_replica("d", "b")
+        v, dv = cat.version, cat.dataset_version("d")
+        cat.drop_replica("d", "b")
+        assert cat.version == v + 1
+        assert cat.dataset_version("d") == dv + 1
+
+    def test_drop_does_not_bump_other_datasets(self):
+        cat = ReplicaCatalog()
+        cat.register(Dataset("d", 100.0))
+        cat.register(Dataset("e", 100.0))
+        cat.add_replica("d", "a")
+        cat.add_replica("e", "a")
+        dv_e = cat.dataset_version("e")
+        cat.drop_replica("d", "a")
+        assert cat.dataset_version("e") == dv_e
+
+
+class TestEvictionBumpsVersions:
+    def _reader(self, cache_bytes):
+        topo = Topology()
+        topo.add_site(Site("edge", Tier.EDGE))
+        topo.add_site(Site("cloud", Tier.CLOUD))
+        topo.add_link("edge", "cloud", Link(0.0, 100.0))
+        sim = Simulator()
+        net = FlowNetwork(sim, topo)
+        cat = ReplicaCatalog()
+        reader = StagedReader(TransferService(sim, net, cat))
+        reader.attach_cache("edge", Cache(cache_bytes, "lru"))
+        return sim, cat, reader
+
+    def test_cache_eviction_drops_replica_and_bumps_versions(self):
+        # cache fits exactly one dataset: reading the second evicts the
+        # first, whose edge replica must disappear *and* version-bump
+        sim, cat, reader = self._reader(cache_bytes=120)
+        cat.register(Dataset("d1", 100.0))
+        cat.register(Dataset("d2", 100.0))
+        cat.add_replica("d1", "cloud")
+        cat.add_replica("d2", "cloud")
+
+        def body():
+            yield reader.read("d1", "edge")
+            v, dv = cat.version, cat.dataset_version("d1")
+            assert cat.has_replica("d1", "edge")
+            yield reader.read("d2", "edge")
+            return v, dv
+
+        v, dv = sim.run_process(body())
+        assert not cat.has_replica("d1", "edge")
+        # two bumps since the snapshot: d2's staged replica at the edge
+        # plus d1's eviction drop
+        assert cat.version == v + 2
+        assert cat.dataset_version("d1") == dv + 1

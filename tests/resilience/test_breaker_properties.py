@@ -1,0 +1,138 @@
+"""Property tests for the CircuitBreaker state machine.
+
+Driven by arbitrary clock-monotone operation sequences, the machine
+must never take a forbidden transition:
+
+- CLOSED never decays into HALF_OPEN by time passage alone — only a
+  trip (OPEN) ages into HALF_OPEN,
+- a HALF_OPEN window admits exactly one probe: once ``note_probe`` is
+  called the breaker blocks (and stops counting probes) until the
+  probe's outcome arrives,
+- ``trips`` and ``probes`` counters are monotone non-decreasing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import BreakerConfig, BreakerState, CircuitBreaker
+
+OPS = ("tick", "success", "failure", "probe")
+
+op_steps = st.lists(
+    st.tuples(
+        st.sampled_from(OPS),
+        st.floats(min_value=0.0, max_value=60.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def apply(breaker: CircuitBreaker, op: str, now: float) -> None:
+    if op == "success":
+        breaker.record_success(now)
+    elif op == "failure":
+        breaker.record_failure(now)
+    elif op == "probe":
+        breaker.note_probe(now)
+    # "tick" only advances the clock
+
+
+# time passage alone may only age OPEN into HALF_OPEN
+DECAY_ALLOWED = {
+    (BreakerState.CLOSED, BreakerState.CLOSED),
+    (BreakerState.OPEN, BreakerState.OPEN),
+    (BreakerState.OPEN, BreakerState.HALF_OPEN),
+    (BreakerState.HALF_OPEN, BreakerState.HALF_OPEN),
+}
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=op_steps,
+       threshold=st.integers(min_value=1, max_value=5),
+       reset=st.floats(min_value=0.5, max_value=30.0))
+def test_no_forbidden_transitions(steps, threshold, reset):
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=threshold,
+                                           reset_timeout_s=reset))
+    now = 0.0
+    state = breaker.state(now)
+    for op, dt in steps:
+        # clock advance between operations: pure decay
+        pre = breaker.state(now + dt)
+        assert (state, pre) in DECAY_ALLOWED, \
+            f"time passage took {state} -> {pre}"
+        now += dt
+        apply(breaker, op, now)
+        post = breaker.state(now)
+        if op == "success":
+            assert post is BreakerState.CLOSED
+        elif op == "failure":
+            assert (pre, post) in {
+                (BreakerState.CLOSED, BreakerState.CLOSED),
+                (BreakerState.CLOSED, BreakerState.OPEN),
+                (BreakerState.OPEN, BreakerState.OPEN),
+                (BreakerState.HALF_OPEN, BreakerState.OPEN),
+            }, f"record_failure took {pre} -> {post}"
+        elif op == "probe":
+            assert post is pre, "note_probe must not change state"
+        state = post
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=op_steps,
+       threshold=st.integers(min_value=1, max_value=5),
+       reset=st.floats(min_value=0.5, max_value=30.0))
+def test_single_probe_per_half_open_window(steps, threshold, reset):
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=threshold,
+                                           reset_timeout_s=reset))
+    now = 0.0
+    for op, dt in steps:
+        now += dt
+        probes_before = breaker.probes
+        admitted = (breaker.state(now) is BreakerState.HALF_OPEN
+                    and not breaker.blocked(now))
+        apply(breaker, op, now)
+        if op == "probe":
+            if admitted:
+                # the admitted probe blocks the window behind it
+                assert breaker.probes == probes_before + 1
+                assert breaker.blocked(now)
+                # a second probe in the same window is not counted
+                breaker.note_probe(now)
+                assert breaker.probes == probes_before + 1
+            else:
+                assert breaker.probes == probes_before
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=op_steps,
+       threshold=st.integers(min_value=1, max_value=5),
+       reset=st.floats(min_value=0.5, max_value=30.0))
+def test_counters_monotone(steps, threshold, reset):
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=threshold,
+                                           reset_timeout_s=reset))
+    now, trips, probes = 0.0, 0, 0
+    for op, dt in steps:
+        now += dt
+        apply(breaker, op, now)
+        assert breaker.trips >= trips
+        assert breaker.probes >= probes
+        trips, probes = breaker.trips, breaker.probes
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=op_steps,
+       threshold=st.integers(min_value=1, max_value=5),
+       reset=st.floats(min_value=0.5, max_value=30.0))
+def test_blocked_consistent_with_state(steps, threshold, reset):
+    breaker = CircuitBreaker(BreakerConfig(failure_threshold=threshold,
+                                           reset_timeout_s=reset))
+    now = 0.0
+    for op, dt in steps:
+        now += dt
+        apply(breaker, op, now)
+        state = breaker.state(now)
+        if state is BreakerState.CLOSED:
+            assert not breaker.blocked(now)
+        elif state is BreakerState.OPEN:
+            assert breaker.blocked(now)

@@ -133,3 +133,31 @@ class TestChaosCommand:
         first = capsys.readouterr().out
         assert main(["chaos", "--intensity", "high", "--seed", "5"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestChaosCommandErrors:
+    """Bad campaign/policy names must die with a one-line error, never
+    a traceback."""
+
+    def _err(self, capsys, args):
+        assert main(args) == 1
+        captured = capsys.readouterr()
+        lines = [l for l in captured.err.strip().splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "Traceback" not in captured.err
+        return lines[0]
+
+    def test_unknown_intensity_one_line_error(self, capsys):
+        line = self._err(capsys, ["chaos", "--intensity", "apocalyptic"])
+        assert "apocalyptic" in line
+        assert "high" in line and "low" in line and "medium" in line
+
+    def test_unknown_policy_one_line_error(self, capsys):
+        line = self._err(capsys, ["chaos", "--policy", "prayer"])
+        assert "prayer" in line
+
+    def test_validation_happens_before_any_simulation(self, capsys):
+        # an invalid name must not print partial campaign output first
+        assert main(["chaos", "--intensity", "nope"]) == 1
+        assert "chaos campaign" not in capsys.readouterr().out
