@@ -38,6 +38,7 @@ import sys
 import time
 from datetime import datetime, timezone
 
+from repro.observe.recorder import MetricsRecorder
 from repro.simcore import Simulator, Timeout
 from repro.simcore.event import CalendarQueue, HeapEventQueue
 from repro.simcore.process import Process
@@ -320,6 +321,67 @@ def _compare(name, workload, baseline_arg, optimized_arg, baseline, reps):
     }
 
 
+def metrics_overhead_guard(repeat: int = 5,
+                           threshold: float = 0.10) -> dict:
+    """Time the watchdog-churn workload bare vs with an attached
+    :class:`MetricsRecorder` (the exact probe set the continuum
+    scheduler installs). The recorder costs one attribute compare per
+    dispatched event; this guard pins that at < ``threshold`` relative
+    overhead so instrumentation can never quietly tax the kernel."""
+
+    def drive(metered: bool):
+        sim = Simulator()
+        if metered:
+            rec = MetricsRecorder(interval_s=1.0)
+            rec.add_probe("kernel_queue_depth", sim._queue.__len__)
+            rec.add_probe("kernel_events_dispatched",
+                          lambda: sim.event_count)
+            sim.attach_recorder(rec)
+
+        def attempt_loop(n):
+            for i in range(n):
+                watchdog = sim.schedule(300.0, lambda: None)
+                yield Timeout(0.5)
+                if i % 25 != 0:
+                    sim.cancel(watchdog)
+
+        for _ in range(40):
+            sim.process(attempt_loop(500))
+        sim.run()
+        return sim.event_count, sim.now
+
+    # Interleave bare/metered repetitions so CPU frequency drift and
+    # cache warm-up hit both sides equally; compare the best of each.
+    bare_s = metered_s = float("inf")
+    bare_obs = metered_obs = None
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            bare_obs = drive(False)
+            bare_s = min(bare_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            metered_obs = drive(True)
+            metered_s = min(metered_s, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    if bare_obs != metered_obs:
+        raise AssertionError(
+            f"metrics guard: recorder changed the simulation — bare "
+            f"observed {bare_obs}, metered {metered_obs}")
+    overhead = metered_s / bare_s - 1.0
+    return {
+        "name": "metrics_overhead_watchdog_churn",
+        "events": bare_obs[0],
+        "bare_s": round(bare_s, 6),
+        "metered_s": round(metered_s, 6),
+        "overhead": round(overhead, 4),
+        "threshold": threshold,
+        "ok": overhead < threshold,
+    }
+
+
 def run_benchmarks(repeat: int = 5, quick: bool = False) -> dict:
     rows = []
     reps = max(1, repeat // 2) if quick else repeat
@@ -349,7 +411,28 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=5)
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats (CI smoke)")
+    parser.add_argument("--metrics-guard", action="store_true",
+                        help="only run the metrics-overhead guard; "
+                             "exit 1 if attaching a recorder slows the "
+                             "kernel past the threshold")
+    parser.add_argument("--metrics-threshold", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="max tolerated relative overhead "
+                             "(default 0.10)")
     args = parser.parse_args(argv)
+    if args.metrics_guard:
+        row = metrics_overhead_guard(repeat=args.repeat,
+                                     threshold=args.metrics_threshold)
+        print(f"{row['name']:<34} bare {row['bare_s']:.4f}s  "
+              f"metered {row['metered_s']:.4f}s  "
+              f"overhead {row['overhead']:+.1%} "
+              f"(threshold {row['threshold']:.0%}) "
+              f"{'OK' if row['ok'] else 'FAIL'}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(row, handle, indent=2)
+                handle.write("\n")
+        return 0 if row["ok"] else 1
     report = run_benchmarks(repeat=args.repeat, quick=args.quick)
     for row in report["benchmarks"]:
         print(f"{row['name']:<26} vs {row['baseline']:<11} "

@@ -16,8 +16,9 @@ Top-level re-exports cover the most common entry points; subpackages:
 - :mod:`repro.core`       — cost models, strategies, the scheduler,
   and the analytic offload calculus
 - :mod:`repro.workloads`  — synthetic science/edge workloads
-- :mod:`repro.observe`    — span tracing, Chrome trace export, and
-  critical-path extraction
+- :mod:`repro.observe`    — span tracing, Chrome trace export,
+  critical-path extraction, and the unified metrics layer
+  (labeled counters/gauges/histograms + Prometheus/JSON exporters)
 - :mod:`repro.bench`      — the E1..E10 evaluation suite
 """
 
@@ -39,7 +40,14 @@ from repro.core import (
     offload_analysis,
 )
 from repro.datafabric import Dataset
-from repro.observe import Tracer, critical_path, to_chrome_trace
+from repro.observe import (
+    MetricsRegistry,
+    Tracer,
+    critical_path,
+    to_chrome_trace,
+    to_prometheus,
+    use_registry,
+)
 from repro.workflow import DataFlowKernel, TaskSpec, WorkflowDAG
 
 __all__ = [
@@ -63,4 +71,7 @@ __all__ = [
     "Tracer",
     "critical_path",
     "to_chrome_trace",
+    "MetricsRegistry",
+    "use_registry",
+    "to_prometheus",
 ]

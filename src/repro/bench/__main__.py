@@ -5,6 +5,7 @@
     python -m repro.bench --full          # everything, full mode
     python -m repro.bench --jobs 4        # shard across 4 worker processes
     python -m repro.bench --no-cache      # force recompute
+    python -m repro.bench E13 --metrics m.json   # + metrics snapshot
 
 Also reachable as ``python -m repro bench ...``. Results are memoized
 in a content-addressed cache under ``results/.cache`` (keyed on the
@@ -20,7 +21,9 @@ import sys
 import time
 
 from repro.bench import EXPERIMENTS
-from repro.bench.runner import DEFAULT_CACHE_DIR, run_suite
+from repro.bench.runner import (
+    DEFAULT_CACHE_DIR, run_suite, suite_metrics_doc,
+)
 from repro.errors import ContinuumError
 
 
@@ -44,6 +47,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", metavar="DIR",
                         default=DEFAULT_CACHE_DIR,
                         help=f"cache location (default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="collect run metrics and write the canonical "
+                             "JSON snapshot to FILE (bypasses the result "
+                             "cache; experiment tables are unaffected)")
     args = parser.parse_args(argv)
 
     selected = args.experiments or list(EXPERIMENTS)
@@ -57,8 +64,19 @@ def main(argv: list[str] | None = None) -> int:
         entries = run_suite(
             selected, quick=quick, seed=args.seed, jobs=args.jobs,
             use_cache=not args.no_cache, cache_dir=args.cache_dir,
-            save_dir=args.save,
+            save_dir=args.save, collect_metrics=args.metrics is not None,
         )
+        if args.metrics is not None:
+            from repro.observe.metrics import snapshot_to_json
+            from repro.bench.harness import save_rendered
+            import os
+
+            doc = suite_metrics_doc(entries, quick=quick, seed=args.seed)
+            save_rendered(snapshot_to_json(doc),
+                          os.path.basename(args.metrics) or "metrics.json",
+                          os.path.dirname(args.metrics) or ".")
+            print(f"# metrics snapshot written to {args.metrics}",
+                  file=sys.stderr)
     except ContinuumError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -18,6 +18,7 @@ from repro.bench.harness import ExperimentResult
 from repro.continuum import Link, Site, Tier, Topology
 from repro.datafabric import Cache, Dataset, ReplicaCatalog, StagedReader, TransferService
 from repro.netsim import FlowNetwork
+from repro.observe.metrics import current_registry
 from repro.simcore import Simulator
 from repro.utils.rng import RngRegistry
 from repro.utils.units import GB, Gbps, MB, MILLISECOND
@@ -66,6 +67,7 @@ def _drive(policy: str | None, stream: list[int]) -> dict:
                     catalog.drop_replica(f"ds{idx}", "edge")
 
     sim.run_process(consumer())
+    reader.emit_metrics(current_registry())
     cache = reader.cache_at("edge")
     return {
         "reads": len(stream),

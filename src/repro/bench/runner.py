@@ -189,22 +189,36 @@ def result_from_doc(doc: dict) -> ExperimentResult:
 # Worker entry points (module-level: must be picklable by the pool)
 # ---------------------------------------------------------------------------
 
-def _worker_run_experiment(exp_id: str, quick: bool, seed: int):
+def _worker_run_experiment(exp_id: str, quick: bool, seed: int,
+                           collect_metrics: bool = False):
     from repro.bench import EXPERIMENTS
+    from repro.observe.metrics import MetricsRegistry, use_registry
 
     t0 = time.perf_counter()
+    if collect_metrics:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = EXPERIMENTS[exp_id](quick=quick, seed=seed)
+        return result, time.perf_counter() - t0, registry.dump_state()
     result = EXPERIMENTS[exp_id](quick=quick, seed=seed)
-    return result, time.perf_counter() - t0
+    return result, time.perf_counter() - t0, None
 
 
-def _worker_run_shard(exp_id: str, shard, quick: bool, seed: int):
+def _worker_run_shard(exp_id: str, shard, quick: bool, seed: int,
+                      collect_metrics: bool = False):
     from repro.bench import EXPERIMENTS
+    from repro.observe.metrics import MetricsRegistry, use_registry
     import importlib
 
     module = importlib.import_module(EXPERIMENTS[exp_id].__module__)
     t0 = time.perf_counter()
+    if collect_metrics:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            partial = module.run_shard(shard, quick=quick, seed=seed)
+        return partial, time.perf_counter() - t0, registry.dump_state()
     partial = module.run_shard(shard, quick=quick, seed=seed)
-    return partial, time.perf_counter() - t0
+    return partial, time.perf_counter() - t0, None
 
 
 def _shard_api(exp_id: str):
@@ -232,6 +246,7 @@ class SuiteEntry:
     cached: bool = False
     wall_s: float = 0.0     # compute time (slowest shard for sharded runs)
     shards: int = 1
+    metrics: dict | None = None   # canonical metrics snapshot, if collected
 
 
 def run_suite(
@@ -243,6 +258,7 @@ def run_suite(
     use_cache: bool = True,
     cache_dir: str = DEFAULT_CACHE_DIR,
     save_dir: str | None = None,
+    collect_metrics: bool = False,
 ) -> list[SuiteEntry]:
     """Run experiments, possibly in parallel, returning entries in the
     requested order with byte-identical-to-sequential renders.
@@ -251,6 +267,13 @@ def run_suite(
     experiments *and* their shards across worker processes. With
     ``use_cache``, unchanged experiments replay from the content-
     addressed cache without computing anything.
+
+    ``collect_metrics`` runs every experiment under an enabled metrics
+    registry and attaches the canonical per-experiment snapshot to each
+    entry. Shard registries are merged in deterministic shard order with
+    exact (error-free) accumulation, so the snapshot is byte-identical
+    across ``--jobs`` values. Implies no result-cache use: a cached
+    replay computes nothing and therefore has no metrics to report.
     """
     from repro.bench import EXPERIMENTS
 
@@ -263,6 +286,8 @@ def run_suite(
     if jobs < 1:
         raise ContinuumError(f"--jobs must be >= 1, got {jobs}")
 
+    if collect_metrics:
+        use_cache = False
     cache = ResultCache(cache_dir) if use_cache else None
     src_digest = source_digest() if use_cache else ""
     entries: dict[str, SuiteEntry] = {}
@@ -288,9 +313,10 @@ def run_suite(
 
     if pending:
         if jobs == 1:
-            computed = _run_sequential(pending, quick, seed)
+            computed = _run_sequential(pending, quick, seed, collect_metrics)
         else:
-            computed = _run_parallel(pending, quick, seed, jobs)
+            computed = _run_parallel(pending, quick, seed, jobs,
+                                     collect_metrics)
         for entry in computed:
             entries[entry.experiment_id] = entry
             if cache:
@@ -310,19 +336,35 @@ def run_suite(
     return ordered
 
 
-def _run_sequential(ids: list[str], quick: bool, seed: int) -> list[SuiteEntry]:
+def _snapshot_from_states(states: list[dict]) -> dict:
+    """Merge worker registry states in deterministic (shard) order and
+    return the canonical snapshot."""
+    from repro.observe.metrics import MetricsRegistry
+
+    merged = MetricsRegistry()
+    for state in states:
+        merged.merge_state(state)
+    return merged.snapshot()
+
+
+def _run_sequential(ids: list[str], quick: bool, seed: int,
+                    collect_metrics: bool = False) -> list[SuiteEntry]:
     out = []
     for exp_id in ids:
-        result, wall = _worker_run_experiment(exp_id, quick, seed)
+        result, wall, state = _worker_run_experiment(
+            exp_id, quick, seed, collect_metrics)
         shard_api = _shard_api(exp_id)
         n_shards = len(shard_api[0](quick=quick, seed=seed)) if shard_api else 1
+        snapshot = _snapshot_from_states([state]) if state is not None \
+            else None
         out.append(SuiteEntry(exp_id, result, render(result),
-                              wall_s=wall, shards=n_shards))
+                              wall_s=wall, shards=n_shards,
+                              metrics=snapshot))
     return out
 
 
-def _run_parallel(ids: list[str], quick: bool, seed: int,
-                  jobs: int) -> list[SuiteEntry]:
+def _run_parallel(ids: list[str], quick: bool, seed: int, jobs: int,
+                  collect_metrics: bool = False) -> list[SuiteEntry]:
     """Fan every pending experiment (and each shardable experiment's
     shards) across one shared pool; merge in deterministic order."""
     plans = []      # (exp_id, shard_keys | None)
@@ -337,24 +379,54 @@ def _run_parallel(ids: list[str], quick: bool, seed: int,
         for exp_id, shards in plans:
             if shards is None:
                 futures[exp_id] = pool.submit(
-                    _worker_run_experiment, exp_id, quick, seed)
+                    _worker_run_experiment, exp_id, quick, seed,
+                    collect_metrics)
             else:
                 futures[exp_id] = [
-                    pool.submit(_worker_run_shard, exp_id, shard, quick, seed)
+                    pool.submit(_worker_run_shard, exp_id, shard, quick,
+                                seed, collect_metrics)
                     for shard in shards
                 ]
         # Merge in the deterministic id order, not completion order.
         for exp_id, shards in plans:
             if shards is None:
-                result, wall = futures[exp_id].result()
+                result, wall, state = futures[exp_id].result()
+                snapshot = _snapshot_from_states([state]) \
+                    if state is not None else None
                 out.append(SuiteEntry(exp_id, result, render(result),
-                                      wall_s=wall, shards=1))
+                                      wall_s=wall, shards=1,
+                                      metrics=snapshot))
             else:
                 done = [f.result() for f in futures[exp_id]]
-                partials = [partial for partial, _wall in done]
-                wall = max(w for _p, w in done)
+                partials = [partial for partial, _wall, _state in done]
+                wall = max(w for _p, w, _s in done)
                 merge = _shard_api(exp_id)[2]
                 result = merge(partials, quick=quick, seed=seed)
+                snapshot = None
+                if collect_metrics:
+                    snapshot = _snapshot_from_states(
+                        [state for _p, _w, state in done])
                 out.append(SuiteEntry(exp_id, result, render(result),
-                                      wall_s=wall, shards=len(partials)))
+                                      wall_s=wall, shards=len(partials),
+                                      metrics=snapshot))
     return out
+
+
+def suite_metrics_doc(entries: list[SuiteEntry], *, quick: bool,
+                      seed: int) -> dict:
+    """Assemble per-experiment snapshots into one suite metrics file
+    (schema ``repro-metrics-suite/1``); raises if any entry lacks one."""
+    from repro.observe.metrics import SUITE_SCHEMA
+
+    experiments = {}
+    for entry in entries:
+        if entry.metrics is None:
+            raise ContinuumError(
+                f"no metrics collected for {entry.experiment_id} "
+                f"(was the suite run with collect_metrics?)")
+        experiments[entry.experiment_id] = entry.metrics
+    return {
+        "schema": SUITE_SCHEMA,
+        "config": {"quick": bool(quick), "seed": int(seed)},
+        "experiments": experiments,
+    }

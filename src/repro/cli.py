@@ -14,9 +14,18 @@ Commands
   outages, link brownouts, sick boxes, stragglers, corrupted
   transfers) with a chosen recovery policy, and report every recovery
   action the resilience layer took,
+- ``metrics`` — run experiments with the unified metrics layer enabled
+  and print the Prometheus text exposition (or write the canonical
+  JSON snapshot with ``--out``); ``--load FILE`` validates and
+  re-renders an existing snapshot without running anything,
 - ``bench`` — the experiment suite runner (:mod:`repro.bench`):
   sequential, parallel-sharded (``--jobs N``), and content-addressed
   result caching (``--no-cache`` to bypass).
+
+``trace`` and ``chaos`` accept ``--metrics FILE`` to additionally
+collect run metrics (zero-interference: the simulation output is
+byte-identical with or without it) and interleave the sampled gauge
+timeseries as counter events in the Chrome trace export.
 """
 
 from __future__ import annotations
@@ -40,9 +49,13 @@ from repro.errors import ConfigurationError, ContinuumError
 from repro.faults import CAMPAIGN_INTENSITIES, ChaosCampaign
 from repro.resilience import ResiliencePolicy
 from repro.observe import (
+    MetricsRegistry,
     Tracer,
     critical_path,
+    load_snapshot,
+    snapshot_to_json,
     to_chrome_trace,
+    to_prometheus,
     validate_chrome_trace,
 )
 from repro.report import (
@@ -161,6 +174,23 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _run_metrics_registry(args) -> MetricsRegistry | None:
+    """A live registry when ``--metrics`` was given, else ``None`` —
+    passing ``None`` to the scheduler keeps the ambient (disabled)
+    default, so plain runs pay nothing."""
+    if not getattr(args, "metrics", None):
+        return None
+    return MetricsRegistry(keep_timeseries=True)
+
+
+def _write_metrics_snapshot(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(snapshot_to_json(registry.snapshot()))
+    print()
+    print(f"metrics snapshot written to {path} "
+          f"({len(registry.families())} metric families)")
+
+
 def _cmd_trace(args) -> int:
     topo = _get_topology(args.topology)
     dag, externals = _get_workload(args)
@@ -169,8 +199,9 @@ def _cmd_trace(args) -> int:
     placed = [(d, sources[i % len(sources)]) for i, d in enumerate(externals)]
     strategy = _get_strategy(args.strategy)
     tracer = Tracer()
+    metrics = _run_metrics_registry(args)
     result = ContinuumScheduler(topo, seed=args.seed).run(
-        dag, strategy, external_inputs=placed, tracer=tracer
+        dag, strategy, external_inputs=placed, tracer=tracer, metrics=metrics
     )
     print(f"workflow {dag.name!r} on {topo.name!r} via {strategy.name!r}: "
           f"makespan {result.makespan:.3f} s, "
@@ -181,7 +212,9 @@ def _cmd_trace(args) -> int:
     cp = critical_path(result, dag)
     print(critical_path_report(cp))
     if args.out:
-        doc = to_chrome_trace(tracer)
+        doc = to_chrome_trace(
+            tracer, recorder=metrics.timeseries if metrics else None
+        )
         validate_chrome_trace(doc)
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(doc, handle)
@@ -189,6 +222,8 @@ def _cmd_trace(args) -> int:
         print(f"chrome trace written to {args.out} "
               f"({len(doc['traceEvents'])} events; open in chrome://tracing "
               f"or ui.perfetto.dev)")
+    if metrics is not None:
+        _write_metrics_snapshot(metrics, args.metrics)
     return 0
 
 
@@ -229,6 +264,7 @@ def _cmd_chaos(args) -> int:
     plan = campaign.build(topo)
     policy = policy_builder(args.seed)
     tracer = Tracer()
+    metrics = _run_metrics_registry(args)
     sched = ContinuumScheduler(
         topo, seed=args.seed,
         transfer_failure_prob=plan.transfer_failure_prob,
@@ -237,7 +273,7 @@ def _cmd_chaos(args) -> int:
     result = sched.run(
         dag, strategy, external_inputs=placed,
         failures=plan.outages, chaos=plan.task_chaos,
-        resilience=policy, task_retries=100, tracer=tracer,
+        resilience=policy, task_retries=100, tracer=tracer, metrics=metrics,
     )
     print(f"chaos campaign {args.intensity!r} (seed {args.seed}) on "
           f"{topo.name!r}: {plan.site_outage_count} outages, "
@@ -263,13 +299,66 @@ def _cmd_chaos(args) -> int:
         for k, v in stats.as_row().items() if k != "policy"
     ))
     if args.out:
-        doc = to_chrome_trace(tracer)
+        doc = to_chrome_trace(
+            tracer, recorder=metrics.timeseries if metrics else None
+        )
         validate_chrome_trace(doc)
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(doc, handle)
         print()
         print(f"chrome trace written to {args.out} "
               f"({len(doc['traceEvents'])} events)")
+    if metrics is not None:
+        _write_metrics_snapshot(metrics, args.metrics)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.observe.metrics import SUITE_SCHEMA
+
+    if args.load:
+        if args.experiments:
+            raise ConfigurationError(
+                "--load renders an existing snapshot; experiment ids "
+                "cannot be combined with it")
+        doc = load_snapshot(args.load)   # one-line errors, nothing runs
+        if doc.get("schema") == SUITE_SCHEMA:
+            for exp_id in sorted(doc["experiments"]):
+                print(to_prometheus(doc["experiments"][exp_id],
+                                    extra_labels={"experiment": exp_id}),
+                      end="")
+        else:
+            print(to_prometheus(doc), end="")
+        print(f"# {args.load}: valid metrics snapshot", file=sys.stderr)
+        return 0
+
+    from repro.bench import EXPERIMENTS
+    from repro.bench.runner import run_suite, suite_metrics_doc
+
+    if not args.experiments:
+        raise ConfigurationError(
+            "name at least one experiment (e.g. 'repro metrics E6') "
+            "or pass --load FILE")
+    # validate every id before any simulation starts
+    selected = []
+    for exp_id in args.experiments:
+        if exp_id.upper() not in EXPERIMENTS:
+            raise ConfigurationError(
+                f"unknown experiment {exp_id!r}; known: {list(EXPERIMENTS)}")
+        selected.append(exp_id.upper())
+    quick = not args.full
+    entries = run_suite(selected, quick=quick, seed=args.seed,
+                        jobs=args.jobs, use_cache=False,
+                        collect_metrics=True)
+    for entry in entries:
+        print(to_prometheus(entry.metrics,
+                            extra_labels={"experiment": entry.experiment_id}),
+              end="")
+    if args.out:
+        doc = suite_metrics_doc(entries, quick=quick, seed=args.seed)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_to_json(doc))
+        print(f"# metrics snapshot written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -324,6 +413,10 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", metavar="FILE", default="trace.json",
                          help="Chrome trace-event JSON path ('' to skip)")
+    p_trace.add_argument("--metrics", metavar="FILE", default=None,
+                         help="also collect run metrics: write the JSON "
+                              "snapshot to FILE and interleave gauge "
+                              "timeseries as counter events in --out")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_chaos = sub.add_parser(
@@ -347,7 +440,31 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--seed", type=int, default=0)
     p_chaos.add_argument("--out", metavar="FILE", default=None,
                          help="also export a Chrome trace-event JSON")
+    p_chaos.add_argument("--metrics", metavar="FILE", default=None,
+                         help="also collect run metrics: write the JSON "
+                              "snapshot to FILE and interleave gauge "
+                              "timeseries as counter events in --out")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run experiments with metrics enabled and print Prometheus "
+             "text (or validate an existing snapshot with --load)",
+    )
+    p_metrics.add_argument("experiments", nargs="*",
+                           help="experiment ids (e.g. E6 E13)")
+    p_metrics.add_argument("--full", action="store_true",
+                           help="full sweeps (default: quick)")
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes to shard across")
+    p_metrics.add_argument("--out", metavar="FILE", default=None,
+                           help="also write the canonical JSON suite "
+                                "snapshot to FILE")
+    p_metrics.add_argument("--load", metavar="FILE", default=None,
+                           help="validate + render an existing metrics "
+                                "snapshot instead of running anything")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     sub.add_parser(
         "bench",

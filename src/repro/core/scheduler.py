@@ -64,6 +64,8 @@ from repro.faults.campaign import TaskChaos
 from repro.faults.outages import OutageSchedule, SiteOutage
 from repro.faults.partitions import PartitionSchedule
 from repro.netsim.network import FlowNetwork
+from repro.observe.metrics import MetricsRegistry, current_registry
+from repro.observe.recorder import MetricsRecorder
 from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.resilience.breaker import BreakerState
 from repro.resilience.policy import ResiliencePolicy, ResilienceStats
@@ -172,6 +174,7 @@ class ContinuumScheduler:
         task_retries: int = 2,
         until: float | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
         control: ControlPlaneConfig | None = None,
         partitions: PartitionSchedule | None = None,
     ) -> ScheduleResult:
@@ -187,6 +190,10 @@ class ContinuumScheduler:
         retries). Pass a :class:`~repro.observe.Tracer` to record
         per-task, per-transfer, fault-injection, and recovery spans;
         tracing never changes the schedule (it only reads the clock).
+        ``metrics`` selects the registry run counters/histograms are
+        emitted into (default: the ambient registry installed with
+        :func:`repro.observe.use_registry`, disabled unless one is
+        installed); like tracing, metrics are zero-interference.
 
         ``control`` opts the run into the replicated control plane: all
         metadata reads (placement rounds, transfer sources) go through
@@ -201,7 +208,7 @@ class ContinuumScheduler:
         run = _Run(self, [job], strategy,
                    failures=failures, chaos=chaos, resilience=resilience,
                    task_retries=task_retries, tracer=tracer,
-                   control=control, partitions=partitions)
+                   metrics=metrics, control=control, partitions=partitions)
         run.execute(until=until)
         return run.single_result()
 
@@ -216,6 +223,7 @@ class ContinuumScheduler:
         task_retries: int = 2,
         until: float | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
         control: ControlPlaneConfig | None = None,
         partitions: PartitionSchedule | None = None,
     ) -> StreamResult:
@@ -235,7 +243,7 @@ class ContinuumScheduler:
         run = _Run(self, job_list, strategy,
                    failures=failures, chaos=chaos, resilience=resilience,
                    task_retries=task_retries, tracer=tracer,
-                   control=control, partitions=partitions)
+                   metrics=metrics, control=control, partitions=partitions)
         run.execute(until=until)
         return run.stream_result()
 
@@ -250,6 +258,7 @@ class _Run:
                  resilience: ResiliencePolicy | None = None,
                  task_retries: int = 2,
                  tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
                  control: ControlPlaneConfig | None = None,
                  partitions: PartitionSchedule | None = None):
         self.jobs = jobs
@@ -356,6 +365,144 @@ class _Run:
         self._brownout_factors: dict[frozenset, list[float]] = {}
         if failures is not None:
             failures.validate_against(sched.topology)
+        # metrics (opt-in, ambient by default): one registry serves the
+        # whole run; the recorder samples gauge probes on sim-clock
+        # ticks. Both are clock-passive, so an instrumented run stays
+        # bit-identical to a bare one.
+        self.metrics = metrics if metrics is not None else current_registry()
+        self.recorder: MetricsRecorder | None = None
+        self._m_decisions = None
+        if self.metrics.enabled:
+            self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._m_decisions = m.counter(
+            "scheduler_placement_decisions_total",
+            "Placement decisions by chosen site and strategy",
+            ("site", "strategy"))
+        self._m_queue_wait = m.histogram(
+            "scheduler_task_queue_wait_seconds",
+            "Wait for a worker slot after inputs arrived",
+            start=1e-3, factor=2.0, count=36)
+        self._m_stage = m.histogram(
+            "scheduler_task_stage_seconds",
+            "Input staging time per completed task",
+            start=1e-3, factor=2.0, count=36)
+        self._m_exec = m.histogram(
+            "scheduler_task_exec_seconds",
+            "Execution time per completed task",
+            start=1e-3, factor=2.0, count=36)
+        rec = self.recorder = MetricsRecorder()
+        self.sim.attach_recorder(rec)
+        sim, queue, net = self.sim, self.sim._queue, self.network
+        rec.add_probe("kernel_queue_depth", queue.__len__)
+        rec.add_probe("kernel_events_dispatched",
+                      lambda: float(sim.event_count))
+        rec.add_probe("netsim_flows_active",
+                      lambda: float(net.active_flow_count))
+        rec.add_probe("scheduler_ready_tasks",
+                      lambda: float(len(self.ready)))
+        rec.add_probe("scheduler_tasks_completed",
+                      lambda: float(len(self.records)))
+
+    def _emit_metrics(self) -> None:
+        """End-of-run harvest: re-emit every subsystem's stats object
+        through the registry (counters accumulate across runs sharing
+        one registry; all values derive from simulated time only)."""
+        m = self.metrics
+        sim, queue = self.sim, self.sim._queue
+        c, g = m.counter, m.gauge
+        c("sim_events_dispatched_total",
+          "Events dispatched by the kernel").inc(sim.event_count)
+        c("sim_simulated_seconds_total",
+          "Simulated seconds advanced").inc(sim.now)
+        c("kernel_events_pushed_total",
+          "Events enqueued (push, pooled, ready lane)"
+          ).inc(queue.events_pushed)
+        c("kernel_events_cancelled_total",
+          "Caller-cancelled events").inc(queue.cancellations)
+        c("kernel_reclaims_total",
+          "Dead-entry reclamations (compactions/sweeps)"
+          ).inc(queue.compactions)
+        c("kernel_pool_reuses_total",
+          "Events served from the free list").inc(queue.pool_reuses)
+        for attr, name, help_ in (
+            ("rebuilds", "kernel_calendar_rebuilds_total",
+             "Calendar-queue full gather + re-layout passes"),
+            ("advances", "kernel_calendar_advances_total",
+             "Calendar-queue window advances"),
+        ):
+            if hasattr(queue, attr):
+                c(name, help_).inc(getattr(queue, attr))
+        if sim.now > 0:
+            g("kernel_events_per_sim_second",
+              "Dispatch rate of the last run, per simulated second"
+              ).set(sim.event_count / sim.now)
+        counters = self.monitor.counters
+        c("netsim_flows_started_total",
+          "Flows opened on the network").inc(counters.get(
+              "flows_started", 0))
+        c("netsim_flows_completed_total",
+          "Flows drained to completion").inc(counters.get(
+              "flows_completed", 0))
+        c("netsim_bytes_moved_total",
+          "Bytes moved across all links"
+          ).inc(self.network.total_bytes_moved)
+        c("netsim_rate_solves_total",
+          "Max-min fair-share rate recomputes"
+          ).inc(self.network.rate_solves)
+        c("scheduler_tasks_completed_total",
+          "Tasks that ran to completion").inc(len(self.records))
+        c("scheduler_interruptions_total",
+          "Attempts cut down by site outages").inc(self.interruptions)
+        c("scheduler_wasted_exec_seconds_total",
+          "Execution seconds lost to interrupts/hedges/faults"
+          ).inc(self.wasted_exec_s)
+        c("scheduler_compute_usd_total",
+          "Compute spend across completed work").inc(self.compute_usd)
+        c("scheduler_energy_joules_total",
+          "Marginal energy across completed work").inc(self.energy_j)
+        makespan = max((r.exec_finished for r in self.records.values()),
+                       default=0.0)
+        g("scheduler_last_makespan_seconds",
+          "Makespan of the last run emitted into this registry"
+          ).set(makespan)
+        stats = self._final_stats()
+        labels = ("policy",)
+        lv = {"policy": stats.policy}
+        for name, help_, value in (
+            ("resilience_attempts_total", "Execution attempts launched",
+             stats.attempts_total),
+            ("resilience_retries_total", "Attempts relaunched after a "
+             "failure", stats.retries),
+            ("resilience_backoff_seconds_total",
+             "Simulated seconds spent backing off", stats.backoff_delay_s),
+            ("resilience_budget_denials_total",
+             "Retries refused by the retry budget", stats.budget_denials),
+            ("resilience_breaker_trips_total",
+             "Circuit-breaker open transitions", stats.breaker_trips),
+            ("resilience_breaker_probes_total",
+             "Half-open probe attempts", stats.breaker_probes),
+            ("resilience_hedges_launched_total",
+             "Hedge duplicates launched", stats.hedges_launched),
+            ("resilience_hedges_won_total",
+             "Hedge duplicates that finished first", stats.hedges_won),
+            ("resilience_hedges_lost_total",
+             "Hedge duplicates cancelled or beaten", stats.hedges_lost),
+            ("resilience_timeouts_total",
+             "Attempts cut down by the attempt timeout", stats.timeouts),
+            ("resilience_transient_faults_total",
+             "Chaos-injected transient faults hit", stats.transient_faults),
+            ("resilience_lost_tasks_total",
+             "Tasks that exhausted every recovery lever",
+             stats.lost_tasks),
+        ):
+            m.counter(name, help_, labels).labels(**lv).inc(value)
+        if self.control is not None:
+            self.control.emit_metrics(m)
+        if m.keep_timeseries and self.recorder is not None:
+            m.timeseries = dict(self.recorder.series)
 
     def _register_datasets(self) -> None:
         """Register every dataset definition up front; external replicas
@@ -398,6 +545,8 @@ class _Run:
                 f"run ended with unfinished tasks: {sorted(unfinished)} "
                 f"(until-limit too small or deadlocked staging)"
             )
+        if self.metrics.enabled:
+            self._emit_metrics()
 
     def _job_arrives(self, idx: int) -> None:
         job = self.jobs[idx]
@@ -656,6 +805,9 @@ class _Run:
                     est_finish=est_finish,
                 )
                 self.decisions.append(decision)
+                if self._m_decisions is not None:
+                    self._m_decisions.labels(
+                        site=site_name, strategy=self.strategy.name).inc()
                 self._start_attempt(task, site_name, decision)
             if self.ready:
                 self._schedule_probe_wake()
@@ -903,6 +1055,10 @@ class _Run:
         self.compute_usd += record.compute_usd
         self.site_busy[site_name] += record.exec_time
         self.records[name] = record
+        if self._m_decisions is not None:
+            self._m_stage.observe(record.stage_time)
+            self._m_queue_wait.observe(record.queue_time)
+            self._m_exec.observe(record.exec_time)
         for out in task.outputs:
             self.catalog.add_replica(out.name, site_name, time=self.sim.now)
         self.strategy.observe(record, self.ctx)

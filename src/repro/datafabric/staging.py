@@ -52,6 +52,19 @@ class StagedReader:
     def cache_at(self, site: str) -> Cache | None:
         return self._caches.get(site)
 
+    def emit_metrics(self, registry) -> None:
+        """Re-emit read/transfer totals plus every attached cache's
+        stats through a metrics registry (no-op when disabled)."""
+        if not registry.enabled:
+            return
+        registry.counter("datafabric_reads_total",
+                         "Staged reads issued").inc(self.reads)
+        registry.counter("datafabric_network_bytes_total",
+                         "Bytes staged over the network"
+                         ).inc(self.network_bytes)
+        for site in sorted(self._caches):
+            self._caches[site].emit_metrics(registry, site=site)
+
     def read(self, dataset_name: str, at_site: str) -> Signal:
         """Make the dataset readable at ``at_site``; fires with
         :class:`ReadResult`."""

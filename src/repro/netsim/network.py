@@ -96,6 +96,7 @@ class FlowNetwork:
         self.total_bytes_moved = 0.0
         self.total_transfer_cost_usd = 0.0
         self.bytes_per_link = np.zeros(n_links)
+        self.rate_solves = 0                   # fair-share recompute count
 
     # -- public API -------------------------------------------------------------
     def transfer(self, src: str, dst: str, size_bytes: float,
@@ -258,6 +259,7 @@ class FlowNetwork:
     def _solve_rates(self) -> None:
         """Re-solve rates; reschedule drain events for changed flows."""
         self._solve_pending = False
+        self.rate_solves += 1
         n = self._n_active
         if n == 0:
             return

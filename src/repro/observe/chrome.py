@@ -48,11 +48,16 @@ def _tree_events(span: Span, children: dict, tid: int, out: list) -> None:
     out.append({**base, "ph": "E", "ts": span.end_s * 1e6, "args": {}})
 
 
-def to_chrome_trace(tracer_or_spans) -> dict:
+def to_chrome_trace(tracer_or_spans, *, recorder=None) -> dict:
     """Export closed spans as a Chrome trace-event document.
 
     Accepts a :class:`~repro.observe.tracer.Tracer` or a span list;
-    open spans are skipped (export after the run completes). Returns a
+    open spans are skipped (export after the run completes). Pass a
+    :class:`~repro.observe.recorder.MetricsRecorder` — or a plain
+    ``name -> [(t, v), ...]`` timeseries mapping such as
+    ``MetricsRegistry.timeseries`` — as ``recorder`` to interleave the
+    sampled timeseries as counter events (``"ph": "C"``), which render
+    as per-metric area charts above the span lanes. Returns a
     JSON-serializable dict — ``json.dump`` it and load the file in
     ``chrome://tracing`` or https://ui.perfetto.dev.
     """
@@ -69,6 +74,13 @@ def to_chrome_trace(tracer_or_spans) -> dict:
                 "ts": 0.0, "args": {"name": f"{root.category}:{root.name}"},
             })
         _tree_events(root, children, tid, events)
+    if recorder is not None:
+        if hasattr(recorder, "counter_events"):
+            events.extend(recorder.counter_events())
+        else:
+            from repro.observe.recorder import series_counter_events
+
+            events.extend(series_counter_events(recorder))
     meta = [e for e in events if e["ph"] == "M"]
     timed = [e for e in events if e["ph"] != "M"]
     timed.sort(key=lambda e: e["ts"])  # stable: per-lane order preserved
@@ -79,7 +91,8 @@ def validate_chrome_trace(doc: dict) -> int:
     """Check ``doc`` against the trace-event schema; returns the event
     count. Raises :class:`ObserveError` on the first violation:
     missing/malformed fields, negative or non-finite or non-monotonic
-    timestamps, unmatched or misnested begin/end pairs.
+    timestamps, unmatched or misnested begin/end pairs, counter (``C``)
+    events without a non-empty dict of finite numeric series.
     """
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         raise ObserveError("trace document must be a dict with 'traceEvents'")
@@ -120,6 +133,19 @@ def validate_chrome_trace(doc: dict) -> int:
                     f"event {i}: 'E' for {event['name']!r} closes "
                     f"{opened!r} (misnested) on lane {lane}"
                 )
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ObserveError(
+                    f"event {i}: counter event needs a non-empty 'args' "
+                    f"dict of numeric series"
+                )
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    raise ObserveError(
+                        f"event {i}: counter series {k!r} has non-numeric "
+                        f"value {v!r}"
+                    )
         elif ph != "i":
             raise ObserveError(f"event {i} has unsupported phase {ph!r}")
     for lane, stack in stacks.items():

@@ -136,7 +136,8 @@ class Event:
 class _QueueBase:
     """Shared machinery: seq stamping, ready lane, event free list."""
 
-    __slots__ = ("_ready", "_seq", "_pool", "pool_reuses", "compactions")
+    __slots__ = ("_ready", "_seq", "_pool", "pool_reuses", "compactions",
+                 "cancellations")
 
     def __init__(self) -> None:
         self._ready: deque[Event] = deque()
@@ -144,6 +145,13 @@ class _QueueBase:
         self._pool: list[Event] = []
         self.pool_reuses = 0
         self.compactions = 0
+        self.cancellations = 0      # caller-cancelled events (note_cancelled)
+
+    @property
+    def events_pushed(self) -> int:
+        """Total events ever enqueued (the seq counter: every push,
+        push_pooled, and ready-lane append stamps one)."""
+        return self._seq
 
     def _make_pooled(self, time: float, callback: Callable, args: tuple) -> Event:
         pool = self._pool
@@ -653,6 +661,7 @@ class CalendarQueue(_QueueBase):
         the calendar is rebuilt from live events only (the equivalent
         of the heap kernel's compaction).
         """
+        self.cancellations += 1
         dead = self._dead = self._dead + 1
         live = self._live = self._live - 1
         # _should_reclaim, inlined: this runs once per cancellation.
@@ -759,6 +768,7 @@ class HeapEventQueue(_QueueBase):
         order is the total order (time, seq) regardless of the heap's
         internal arrangement.
         """
+        self.cancellations += 1
         self._dead += 1
         heap = self._heap
         if _should_reclaim(self._dead, len(heap) - self._dead):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from math import isfinite
+from math import inf, isfinite
 from collections.abc import Callable, Generator
 
 from repro.errors import SimulationError
@@ -31,6 +31,7 @@ class Simulator:
         self._running = False
         self._processes_started = 0
         self.event_count = 0
+        self._recorder = None
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -97,6 +98,16 @@ class Simulator:
         """Create a bound :class:`Signal`."""
         return Signal(self)
 
+    # -- observability --------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.observe.recorder.MetricsRecorder` to
+        be ticked from the dispatch loop whenever the clock reaches its
+        ``next_t``. Recorders are clock-passive — they sample probe
+        callables but never schedule events — so attaching one cannot
+        change any simulation outcome. Costs one ``is not None`` check
+        per event when detached."""
+        self._recorder = recorder
+
     # -- running ---------------------------------------------------------------
     def _dispatch(self, event: Event) -> None:
         """Advance the clock to ``event`` and run its callback."""
@@ -119,6 +130,9 @@ class Simulator:
         if event is None:
             return False
         self._dispatch(event)
+        rec = self._recorder
+        if rec is not None and self._now >= rec.next_t:
+            rec.tick(self._now)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -135,6 +149,10 @@ class Simulator:
         queue = self._queue
         pop = queue._pop_or_none
         recycle = queue.recycle
+        rec = self._recorder
+        # Hoisted next-tick time: the hot loop pays one local float
+        # compare per event instead of a None check + attribute load.
+        rec_next = rec.next_t if rec is not None else inf
         drained = False
         try:
             # Single-pop loop: each iteration pays one heap/lane pop;
@@ -165,6 +183,13 @@ class Simulator:
                     recycle(event)
                 else:
                     event.cancelled = True
+                if time >= rec_next:
+                    # Fold fired-so-far into event_count first so gauge
+                    # probes reading it observe the live total.
+                    self.event_count += fired
+                    fired = 0
+                    rec.tick(time)
+                    rec_next = rec.next_t
             if drained and until is not None and until > self._now:
                 self._now = until
         finally:

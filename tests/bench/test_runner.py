@@ -198,3 +198,53 @@ class TestRunSuiteParallel:
         warm = run_suite(["E13"], quick=True, jobs=1, cache_dir=cache_dir)
         assert warm[0].cached
         assert warm[0].rendered == cold[0].rendered
+
+
+class TestSuiteMetrics:
+    def test_sequential_collects_snapshots(self):
+        from repro.bench.runner import suite_metrics_doc
+        from repro.observe.metrics import snapshot_to_json, validate_suite
+
+        entries = run_suite(["E6"], quick=True, use_cache=False,
+                            collect_metrics=True)
+        assert entries[0].metrics is not None
+        doc = validate_suite(suite_metrics_doc(entries, quick=True, seed=0))
+        assert "datafabric_cache_hits_total" in (
+            doc["experiments"]["E6"]["metrics"])
+        # canonical serialization is stable across reruns
+        again = run_suite(["E6"], quick=True, use_cache=False,
+                          collect_metrics=True)
+        assert snapshot_to_json(entries[0].metrics) == snapshot_to_json(
+            again[0].metrics)
+
+    def test_parallel_metrics_bit_identical_to_sequential(self):
+        from repro.observe.metrics import snapshot_to_json
+
+        seq = run_suite(["E6", "E13"], quick=True, use_cache=False, jobs=1,
+                        collect_metrics=True)
+        par = run_suite(["E6", "E13"], quick=True, use_cache=False, jobs=2,
+                        collect_metrics=True)
+        for s, p in zip(seq, par):
+            assert p.rendered == s.rendered        # tables untouched
+            assert snapshot_to_json(p.metrics) == snapshot_to_json(s.metrics)
+
+    def test_collect_metrics_bypasses_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_suite(["E1"], quick=True, cache_dir=cache_dir)     # warm it
+        metered = run_suite(["E1"], quick=True, cache_dir=cache_dir,
+                            collect_metrics=True)
+        assert not metered[0].cached               # cached replay skipped
+        assert metered[0].metrics is not None
+
+    def test_tables_unchanged_by_collection(self):
+        bare = run_suite(["E6"], quick=True, use_cache=False)
+        metered = run_suite(["E6"], quick=True, use_cache=False,
+                            collect_metrics=True)
+        assert metered[0].rendered == bare[0].rendered
+
+    def test_suite_doc_requires_metrics(self):
+        from repro.bench.runner import suite_metrics_doc
+
+        entries = run_suite(["E1"], quick=True, use_cache=False)
+        with pytest.raises(ContinuumError, match="no metrics collected"):
+            suite_metrics_doc(entries, quick=True, seed=0)

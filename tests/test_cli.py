@@ -161,3 +161,109 @@ class TestChaosCommandErrors:
         # an invalid name must not print partial campaign output first
         assert main(["chaos", "--intensity", "nope"]) == 1
         assert "chaos campaign" not in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_run_prints_prometheus(self, capsys):
+        assert main(["metrics", "E6"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE datafabric_cache_hits_total counter" in out
+        assert 'experiment="E6"' in out
+
+    def test_out_writes_loadable_suite_snapshot(self, tmp_path, capsys):
+        from repro.observe import load_snapshot
+
+        out = str(tmp_path / "suite.json")
+        assert main(["metrics", "E6", "--out", out]) == 0
+        capsys.readouterr()
+        doc = load_snapshot(out)
+        assert doc["schema"] == "repro-metrics-suite/1"
+        assert "E6" in doc["experiments"]
+        # --load renders the file back without running anything
+        assert main(["metrics", "--load", out]) == 0
+        captured = capsys.readouterr()
+        assert 'experiment="E6"' in captured.out
+        assert "valid metrics snapshot" in captured.err
+
+
+class TestMetricsCommandErrors:
+    """Missing/corrupt/unknown-schema inputs must die with a one-line
+    error before any simulation starts."""
+
+    def _err(self, capsys, args):
+        assert main(args) == 1
+        captured = capsys.readouterr()
+        lines = [l for l in captured.err.strip().splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "Traceback" not in captured.err
+        assert captured.out == ""        # nothing ran
+        return lines[0]
+
+    def test_no_experiments(self, capsys):
+        line = self._err(capsys, ["metrics"])
+        assert "--load" in line
+
+    def test_unknown_experiment(self, capsys):
+        line = self._err(capsys, ["metrics", "E99"])
+        assert "'E99'" in line and "E13" in line
+
+    def test_load_missing_file(self, tmp_path, capsys):
+        line = self._err(capsys, ["metrics", "--load",
+                                  str(tmp_path / "nope.json")])
+        assert "not found" in line
+
+    def test_load_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        line = self._err(capsys, ["metrics", "--load", str(path)])
+        assert "not valid JSON" in line
+
+    def test_load_unknown_schema(self, tmp_path, capsys):
+        path = tmp_path / "weird.json"
+        path.write_text('{"schema": "weird/9", "metrics": {}}')
+        line = self._err(capsys, ["metrics", "--load", str(path)])
+        assert "unknown metrics snapshot schema" in line
+
+    def test_load_combined_with_experiments(self, tmp_path, capsys):
+        line = self._err(capsys, ["metrics", "E6", "--load",
+                                  str(tmp_path / "x.json")])
+        assert "--load" in line
+
+
+class TestTraceMetricsFlag:
+    def test_trace_metrics_snapshot_and_counters(self, tmp_path, capsys):
+        import json
+
+        from repro.observe import load_snapshot, validate_chrome_trace
+
+        out = str(tmp_path / "trace.json")
+        mpath = str(tmp_path / "metrics.json")
+        assert main(["trace", "--workload", "beamline", "--out", out,
+                     "--metrics", mpath]) == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        doc = load_snapshot(mpath)
+        assert "sim_events_dispatched_total" in doc["metrics"]
+        assert doc["timeseries"]                # recorder series kept
+        with open(out, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        validate_chrome_trace(trace)
+        assert any(e["ph"] == "C" for e in trace["traceEvents"])
+
+    def test_chaos_metrics_snapshot(self, tmp_path, capsys):
+        from repro.observe import load_snapshot
+
+        mpath = str(tmp_path / "metrics.json")
+        assert main(["chaos", "--workload", "stencil",
+                     "--metrics", mpath]) == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        doc = load_snapshot(mpath)
+        assert "resilience_retries_total" in doc["metrics"]
+
+    def test_chaos_output_unchanged_by_metrics(self, tmp_path, capsys):
+        assert main(["chaos", "--seed", "4"]) == 0
+        bare = capsys.readouterr().out
+        mpath = str(tmp_path / "m.json")
+        assert main(["chaos", "--seed", "4", "--metrics", mpath]) == 0
+        metered = capsys.readouterr().out
+        assert metered.startswith(bare)   # only the snapshot line appended
