@@ -1,10 +1,11 @@
 """Perf-guard: compare a fresh benchmark report against the committed one.
 
-CI runs the kernel and fairness benchmarks in quick mode and feeds both
-JSON reports here. The gated metric is each workload's **speedup** —
-optimized throughput normalized by the in-run reference (seed kernel,
-PR-4 heap queue, or scalar solver, measured in the same process on the
-same machine). That normalization is what makes the committed
+CI runs the kernel, fairness, and scheduler benchmarks in quick mode
+and feeds each JSON report here against its committed counterpart. The
+gated metric is each workload's **speedup** — optimized throughput
+normalized by the in-run reference (seed kernel, PR-4 heap queue,
+scalar solver, or scalar dispatch loop, measured in the same process on
+the same machine). That normalization is what makes the committed
 dev-container numbers comparable to a CI runner at all: absolute
 events/s scale with host speed and repetition count, the ratio does
 not. A workload whose speedup falls more than ``threshold`` below the
@@ -50,6 +51,8 @@ def _rows(report: dict) -> dict[str, dict]:
 def _throughput(row: dict) -> float:
     if "optimized_events_per_s" in row:
         return float(row["optimized_events_per_s"])
+    if "optimized_tasks_per_s" in row:
+        return float(row["optimized_tasks_per_s"])
     return float(row["rate_solves_per_s"])
 
 

@@ -6,6 +6,7 @@
     python -m repro.bench --jobs 4        # shard across 4 worker processes
     python -m repro.bench --no-cache      # force recompute
     python -m repro.bench E13 --metrics m.json   # + metrics snapshot
+    python -m repro.bench E2 --profile p.pstats  # + cProfile dump
 
 Also reachable as ``python -m repro bench ...``. Results are memoized
 in a content-addressed cache under ``results/.cache`` (keyed on the
@@ -51,7 +52,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="collect run metrics and write the canonical "
                              "JSON snapshot to FILE (bypasses the result "
                              "cache; experiment tables are unaffected)")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="run under cProfile and dump pstats to FILE "
+                             "(sequential runs only; implies --no-cache so "
+                             "the profiled work is real)")
     args = parser.parse_args(argv)
+
+    if args.profile is not None and args.jobs != 1:
+        print("error: --profile requires sequential execution "
+              "(--jobs 1): worker processes aren't profiled",
+              file=sys.stderr)
+        return 2
 
     selected = args.experiments or list(EXPERIMENTS)
     quick = args.quick or (not args.full and not args.experiments)
@@ -60,12 +71,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment {exp_id!r}; known: {list(EXPERIMENTS)}")
             return 2
     t0 = time.perf_counter()
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        entries = run_suite(
-            selected, quick=quick, seed=args.seed, jobs=args.jobs,
-            use_cache=not args.no_cache, cache_dir=args.cache_dir,
-            save_dir=args.save, collect_metrics=args.metrics is not None,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            entries = run_suite(
+                selected, quick=quick, seed=args.seed, jobs=args.jobs,
+                use_cache=not args.no_cache and profiler is None,
+                cache_dir=args.cache_dir,
+                save_dir=args.save,
+                collect_metrics=args.metrics is not None,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                profiler.dump_stats(args.profile)
+                print(f"# profile written to {args.profile} "
+                      f"(inspect with: python -m pstats {args.profile})",
+                      file=sys.stderr)
         if args.metrics is not None:
             from repro.observe.metrics import snapshot_to_json
             from repro.bench.harness import save_rendered

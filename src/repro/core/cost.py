@@ -9,6 +9,7 @@ is exactly the gap E2 quantifies between planner quality levels).
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,6 +19,14 @@ from repro.continuum.topology import Topology
 from repro.datafabric.catalog import ReplicaCatalog
 from repro.errors import DataFabricError, SchedulingError
 from repro.workflow.task import TaskSpec
+
+_SITE_NAME = operator.attrgetter("name")
+
+# Bound on the wave row memo: cleared wholesale once exceeded (a cap,
+# not an LRU — stale-epoch entries are overwritten in place, so the
+# steady-state population is one row per live (signature, candidate-set)
+# pair and the cap only matters under pathological signature churn).
+_ROW_CACHE_MAX = 4096
 
 
 def _stage_times(lat: np.ndarray, bw: np.ndarray, cols: np.ndarray,
@@ -59,7 +68,6 @@ class TaskEstimate:
         return self.compute_usd + self.transfer_usd
 
 
-@dataclass(frozen=True)
 class BatchEstimate:
     """Planner estimates for one task across many candidate sites.
 
@@ -68,16 +76,33 @@ class BatchEstimate:
     (task, site) pair — batch estimation is a vectorization, not an
     approximation, which is what lets strategies rank sites from these
     arrays without changing any placement decision.
+
+    A plain ``__slots__`` class rather than a dataclass: wave dispatch
+    constructs one of these per placed task (rebinding memoized arrays
+    to the task's name), and the frozen-dataclass ``__setattr__``
+    detour was a measurable slice of the dispatch profile. The arrays
+    a memoized instance carries are read-only.
     """
 
-    task: str
-    sites: tuple[str, ...]
-    stage_time_s: np.ndarray
-    exec_time_s: np.ndarray
-    bytes_moved: np.ndarray
-    energy_j: np.ndarray
-    compute_usd: np.ndarray
-    transfer_usd: np.ndarray
+    __slots__ = ("task", "sites", "stage_time_s", "exec_time_s",
+                 "bytes_moved", "energy_j", "compute_usd", "transfer_usd")
+
+    def __init__(self, task: str, sites: tuple[str, ...],
+                 stage_time_s: np.ndarray, exec_time_s: np.ndarray,
+                 bytes_moved: np.ndarray, energy_j: np.ndarray,
+                 compute_usd: np.ndarray, transfer_usd: np.ndarray):
+        self.task = task
+        self.sites = sites
+        self.stage_time_s = stage_time_s
+        self.exec_time_s = exec_time_s
+        self.bytes_moved = bytes_moved
+        self.energy_j = energy_j
+        self.compute_usd = compute_usd
+        self.transfer_usd = transfer_usd
+
+    def __repr__(self) -> str:
+        return (f"BatchEstimate(task={self.task!r}, "
+                f"sites={len(self.sites)})")
 
     @property
     def total_time_s(self) -> np.ndarray:
@@ -107,7 +132,8 @@ class BatchEstimate:
 class CostModel:
     """Estimates built from topology + replica catalog state."""
 
-    def __init__(self, topology: Topology, catalog: ReplicaCatalog):
+    def __init__(self, topology: Topology, catalog: ReplicaCatalog,
+                 *, memo_rows: bool = True):
         self.topology = topology
         self.catalog = catalog
         # nearest-source memo: (dataset, site) -> (src, est), valid for
@@ -127,6 +153,21 @@ class CostModel:
         self._watts_cache: dict = {}
         self._price_cache: dict = {}
         self._cache_version = catalog.version
+        # whole-row memo for wave dispatch: tasks that share an input
+        # signature (inputs, kind, work) over the same candidate tuple
+        # reuse one set of estimate arrays. Keys validate against
+        # (routes epoch, catalog version) — topology rewires, outages
+        # that change routing, and every replica add/drop (staging
+        # completions, cache admits/evictions, output registration) bump
+        # one of the two. The memoized arrays are frozen read-only
+        # because every hit shares them. ``memo_rows=False`` restores
+        # the always-recompute behaviour (the scalar dispatch oracle
+        # runs that way so a memo bug cannot hide from the differential).
+        self._memo_rows = memo_rows
+        self._row_cache: dict = {}
+        # last row served, for estimate-at-chosen-site lookups right
+        # after a strategy ranked this same task over its candidates
+        self._last_row: tuple | None = None
 
     def exec_time(self, task: TaskSpec, site: Site) -> float:
         """Service time of ``task`` on one slot of ``site``."""
@@ -276,9 +317,18 @@ class CostModel:
         """
         if not sites:
             raise SchedulingError("estimate_batch over an empty site list")
-        names = tuple(s.name for s in sites)
+        names = tuple(map(_SITE_NAME, sites))
         n = len(names)
         epoch = self.topology.routes_epoch
+        row_key = version = None
+        if self._memo_rows:
+            row_key = (task.inputs, task.kind, task.work, names)
+            version = self.catalog.version
+            row = self._row_cache.get(row_key)
+            if row is not None and row[0] == epoch and row[1] == version:
+                batch = BatchEstimate(task.name, names, *row[2])
+                self._last_row = (row_key, epoch, version, batch)
+                return batch
         hit = self._cols_cache.get(names)
         if hit is not None and hit[0] == epoch:
             cols = hit[1]
@@ -324,7 +374,7 @@ class CostModel:
         # bit-identical to the scalar calls
         energy = watts * exec_t
         compute = price * (exec_t / 3600.0)
-        return BatchEstimate(
+        batch = BatchEstimate(
             task=task.name,
             sites=names,
             stage_time_s=stage,
@@ -334,6 +384,43 @@ class CostModel:
             compute_usd=compute,
             transfer_usd=transfer_usd,
         )
+        if row_key is not None:
+            arrays = (stage, exec_t, bytes_moved, energy, compute,
+                      transfer_usd)
+            for a in arrays:
+                a.setflags(write=False)
+            if len(self._row_cache) >= _ROW_CACHE_MAX:
+                self._row_cache.clear()
+            self._row_cache[row_key] = (epoch, version, arrays)
+            self._last_row = (row_key, epoch, version, batch)
+        return batch
+
+    def row_times(
+        self, task: TaskSpec, site_name: str
+    ) -> tuple[float, float] | None:
+        """``(stage_s, exec_s)`` for one named site served from the most
+        recent memoized row, or ``None`` when no current row covers it.
+
+        The wave dispatch loop calls this for the site the strategy just
+        chose — the strategy's ranking pass populated ``_last_row`` for
+        exactly this task signature, so the common case is two column
+        reads. Bit-identical to the :meth:`estimate` fields by the batch
+        contract (``BatchEstimate.at(i)`` equals the scalar estimate)."""
+        last = self._last_row
+        if last is None:
+            return None
+        row_key, epoch, version, batch = last
+        if (row_key[0] != task.inputs or row_key[1] != task.kind
+                or row_key[2] != task.work):
+            return None
+        if (epoch != self.topology.routes_epoch
+                or version != self.catalog.version):
+            return None
+        try:
+            i = batch.sites.index(site_name)
+        except ValueError:
+            return None
+        return float(batch.stage_time_s[i]), float(batch.exec_time_s[i])
 
     def _speeds(
         self, names: tuple[str, ...], kind: str | None, sites: list[Site]

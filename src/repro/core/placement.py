@@ -8,16 +8,46 @@ from repro.resilience.policy import ResilienceStats
 from repro.utils.stats import summarize
 
 
-@dataclass(frozen=True)
 class PlacementDecision:
-    """One strategy decision, as made (estimates at decision time)."""
+    """One strategy decision, as made (estimates at decision time).
 
-    task: str
-    site: str
-    decided_at: float
-    est_stage_s: float
-    est_exec_s: float
-    est_finish: float
+    A plain ``__slots__`` record rather than a frozen dataclass: one is
+    constructed per placed task on the dispatch hot path, where the
+    frozen ``__setattr__`` detour was a measurable slice of the profile.
+    Equality and hashing compare all six fields, as the dataclass did —
+    the wave-vs-scalar differential relies on decision equality being
+    exact."""
+
+    __slots__ = ("task", "site", "decided_at", "est_stage_s",
+                 "est_exec_s", "est_finish")
+
+    def __init__(self, task: str, site: str, decided_at: float,
+                 est_stage_s: float, est_exec_s: float, est_finish: float):
+        self.task = task
+        self.site = site
+        self.decided_at = decided_at
+        self.est_stage_s = est_stage_s
+        self.est_exec_s = est_exec_s
+        self.est_finish = est_finish
+
+    def _astuple(self) -> tuple:
+        return (self.task, self.site, self.decided_at,
+                self.est_stage_s, self.est_exec_s, self.est_finish)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PlacementDecision):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (f"PlacementDecision(task={self.task!r}, site={self.site!r}, "
+                f"decided_at={self.decided_at!r}, "
+                f"est_stage_s={self.est_stage_s!r}, "
+                f"est_exec_s={self.est_exec_s!r}, "
+                f"est_finish={self.est_finish!r})")
 
 
 @dataclass

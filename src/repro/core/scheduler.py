@@ -47,6 +47,7 @@ network contention — the planned-vs-measured gap is real and intended.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -55,6 +56,7 @@ from repro.controlplane.cluster import ControlPlaneConfig
 from repro.controlplane.runtime import ControlRuntime
 from repro.core.context import SchedulingContext
 from repro.core.placement import PlacementDecision, ScheduleResult, TaskRecord
+from repro.core.refdispatch import scalar_dispatch
 from repro.core.strategies.base import PlacementStrategy
 from repro.datafabric.catalog import ReplicaCatalog
 from repro.datafabric.dataset import Dataset
@@ -84,6 +86,53 @@ class _TransientFault(Exception):
     def __init__(self, cause: str):
         self.cause = cause
         super().__init__(cause)
+
+
+def wave_dispatch(run, batch, vetoed) -> None:
+    """Place one ready batch through the strategy's wave protocol.
+
+    ``select_sites`` yields placements in the same order the scalar loop
+    produced them; reserving between ``next()`` calls keeps the
+    sequential EFT semantics, so the decision stream is bit-identical to
+    :func:`~repro.core.refdispatch.scalar_dispatch` — the speedup comes
+    from the memoized cost rows and incrementally-maintained
+    availability vectors underneath, not from reordering. Module-level
+    (like its scalar twin) so ``benchmarks/bench_scheduler.py`` can
+    drive both engines against one placement harness.
+    """
+    for task, choice in run.strategy.select_sites(batch, run.ctx):
+        if task.pinned_site and run.ctx.is_down(task.pinned_site):
+            # pinned to a dark site: hold until it recovers
+            # (pins override breaker vetoes — there is no choice)
+            run.ready.append(task)
+            continue
+        if isinstance(choice, SchedulingError):
+            if run.failures is not None or vetoed:
+                # transiently unplaceable (e.g. the strategy's whole
+                # tier is dark or vetoed): hold until recovery
+                run.ready.append(task)
+                continue
+            raise choice
+        site_name = choice
+        if site_name not in run.resources:
+            raise SchedulingError(
+                f"strategy chose non-candidate site {site_name!r} "
+                f"for task {task.name!r}"
+            )
+        stage_s, exec_s, est_finish = run.ctx.estimate_finish_at(
+            task, site_name
+        )
+        run.ctx.reserve(site_name, est_finish)
+        decision = PlacementDecision(
+            task=task.name, site=site_name, decided_at=run.sim.now,
+            est_stage_s=stage_s, est_exec_s=exec_s,
+            est_finish=est_finish,
+        )
+        run.decisions.append(decision)
+        if run._m_decisions is not None:
+            run._m_decisions.labels(
+                site=site_name, strategy=run.strategy.name).inc()
+        run._start_attempt(task, site_name, decision)
 
 
 @dataclass(frozen=True)
@@ -153,6 +202,7 @@ class ContinuumScheduler:
         transfer_failure_prob: float = 0.0,
         transfer_max_attempts: int = 3,
         candidate_sites: list[str] | None = None,
+        dispatch: str | None = None,
     ):
         topology.validate()
         self.topology = topology
@@ -160,6 +210,18 @@ class ContinuumScheduler:
         self.transfer_failure_prob = transfer_failure_prob
         self.transfer_max_attempts = transfer_max_attempts
         self.candidate_sites = candidate_sites
+        # placement engine: "wave" (default) places a ready batch through
+        # strategy.select_sites with memoized cost rows; "scalar" runs
+        # the frozen pre-wave loop with the memo disabled — the oracle
+        # the differential tests and CI smoke diff compare against. The
+        # REPRO_DISPATCH env var flips the default without code changes.
+        if dispatch is None:
+            dispatch = os.environ.get("REPRO_DISPATCH", "wave")
+        if dispatch not in ("wave", "scalar"):
+            raise SchedulingError(
+                f"dispatch must be 'wave' or 'scalar', got {dispatch!r}"
+            )
+        self.dispatch = dispatch
 
     # -- public API ----------------------------------------------------------------
     def run(
@@ -310,10 +372,12 @@ class _Run:
             rngs=self.rngs,
             view=self._ctl_view,
         )
+        self._dispatch_mode = sched.dispatch
         self.ctx = SchedulingContext(
             sched.topology, self.catalog, rngs=self.rngs,
             candidate_sites=sched.candidate_sites,
             view=self._ctl_view,
+            memo=self._dispatch_mode == "wave",
         )
         self.resources = {
             site.name: Resource(self.sim, site.slots, name=site.name)
@@ -773,42 +837,10 @@ class _Run:
                 self._schedule_probe_wake()
                 return
             batch, self.ready = self.ready, []
-            for task in self.strategy.prioritize(batch, self.ctx):
-                if task.pinned_site and self.ctx.is_down(task.pinned_site):
-                    # pinned to a dark site: hold until it recovers
-                    # (pins override breaker vetoes — there is no choice)
-                    self.ready.append(task)
-                    continue
-                try:
-                    site_name = task.pinned_site or self.strategy.select_site(
-                        task, self.ctx
-                    )
-                except SchedulingError:
-                    if self.failures is not None or vetoed:
-                        # transiently unplaceable (e.g. the strategy's whole
-                        # tier is dark or vetoed): hold until recovery
-                        self.ready.append(task)
-                        continue
-                    raise
-                if site_name not in self.resources:
-                    raise SchedulingError(
-                        f"strategy chose non-candidate site {site_name!r} "
-                        f"for task {task.name!r}"
-                    )
-                est, est_finish = self.ctx.estimate_finish(
-                    task, self.ctx.site(site_name)
-                )
-                self.ctx.reserve(site_name, est_finish)
-                decision = PlacementDecision(
-                    task=task.name, site=site_name, decided_at=self.sim.now,
-                    est_stage_s=est.stage_time_s, est_exec_s=est.exec_time_s,
-                    est_finish=est_finish,
-                )
-                self.decisions.append(decision)
-                if self._m_decisions is not None:
-                    self._m_decisions.labels(
-                        site=site_name, strategy=self.strategy.name).inc()
-                self._start_attempt(task, site_name, decision)
+            if self._dispatch_mode == "scalar":
+                scalar_dispatch(self, batch, vetoed)
+            else:
+                wave_dispatch(self, batch, vetoed)
             if self.ready:
                 self._schedule_probe_wake()
         finally:

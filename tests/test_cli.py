@@ -267,3 +267,29 @@ class TestTraceMetricsFlag:
         assert main(["chaos", "--seed", "4", "--metrics", mpath]) == 0
         metered = capsys.readouterr().out
         assert metered.startswith(bare)   # only the snapshot line appended
+
+
+class TestBenchProfileFlag:
+    def test_profile_writes_loadable_pstats(self, tmp_path, capsys):
+        import pstats
+
+        path = tmp_path / "bench.pstats"
+        assert main(["bench", "E2", "--quick",
+                     "--profile", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert f"profile written to {path}" in captured.err
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_profile_rejects_parallel_jobs(self, tmp_path, capsys):
+        """Worker processes escape the profiler, so --jobs > 1 must die
+        with a one-line error before anything runs."""
+        path = tmp_path / "bench.pstats"
+        assert main(["bench", "E2", "--quick", "--jobs", "2",
+                     "--profile", str(path)]) == 2
+        captured = capsys.readouterr()
+        lines = [l for l in captured.err.strip().splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert captured.out == ""
+        assert not path.exists()
